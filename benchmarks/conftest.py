@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artefact (figure/claim) through the
+same harness the CLI uses, then asserts the *shape* of the result -- who
+wins, where the curve bends -- so a performance run doubles as an
+end-to-end reproduction check.  Heavy harnesses run one round
+(``pedantic``); micro-benchmarks of the solvers run normally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavy harness with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,21 @@
+"""Benchmark E1: regenerate Fig. 9 (spatial request distribution)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_fig09
+from repro.trace.mobility import TaxiTraceConfig
+
+
+def test_bench_fig09(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig09,
+        TaxiTraceConfig(num_taxis=10, duration=1000.0, request_rate=0.5, seed=2019),
+    )
+    # paper shape: strongly skewed spatial load (downtown concentration)
+    assert result.params["top_decile_share"] > 0.2
+    assert len(result.rows) == 50
+    total = sum(r["requests"] for r in result.rows)
+    assert total > 1000

@@ -1,0 +1,23 @@
+"""Benchmark E2: regenerate Fig. 10 (pair frequency & Jaccard spectrum)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_fig10
+from repro.trace.mobility import TaxiTraceConfig
+
+
+def test_bench_fig10(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig10,
+        TaxiTraceConfig(num_taxis=10, duration=1000.0, request_rate=0.5, seed=2019),
+    )
+    # paper shape: a spectrum of pair similarities with the correlated
+    # (partner) pairs leading the ranking
+    top = result.rows[0]
+    assert top["injected_partner_pair"] == 1
+    js = [r["jaccard"] for r in result.rows if r["injected_partner_pair"]]
+    assert max(js) > 0.5  # strong pairs exist (paper's 0.5227 analogue)
+    assert max(js) - min(js) > 0.25  # and a spread below them

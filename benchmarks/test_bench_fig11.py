@@ -1,0 +1,24 @@
+"""Benchmark E3: regenerate Fig. 11 (ave_cost vs Jaccard similarity)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_fig11
+
+
+def test_bench_fig11(benchmark):
+    result = run_once(benchmark, run_fig11, repeats=2)
+
+    dpg = [y for _x, y in result.series["DP_Greedy"]]
+    opt = [y for _x, y in result.series["Optimal (non-packing)"]]
+
+    # paper shape 1: the packing algorithm improves as J grows
+    assert dpg[-1] < dpg[0]
+    # paper shape 2: a crossover against Optimal exists at moderate J
+    assert "crossover_jaccard" in result.params
+    assert 0.1 <= result.params["crossover_jaccard"] <= 0.6
+    # paper shape 3: beyond the crossover DP_Greedy wins
+    assert dpg[-1] < opt[-1]
+    # and before it, packing at any cost loses
+    assert dpg[0] > opt[0]

@@ -1,0 +1,43 @@
+"""Benchmark E5: regenerate Fig. 13 (impact of the discount factor)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_fig13
+
+
+def test_bench_fig13(benchmark):
+    result = run_once(benchmark, run_fig13, repeats=2)
+    rows = result.rows
+
+    def pick(alpha):
+        return [r for r in rows if r["alpha"] == alpha]
+
+    # paper claim 1: for alpha < 0.5 packing always beats Optimal
+    for alpha in (0.2, 0.4):
+        for r in pick(alpha):
+            assert r["package_served"] <= r["optimal"] + 1e-9
+
+    # paper claim 2: at alpha = 0.8 Package_Served degrades to (near-)worst
+    worst_count = sum(
+        1
+        for r in pick(0.8)
+        if r["package_served"] >= max(r["optimal"], r["dp_greedy"]) - 1e-9
+    )
+    assert worst_count >= len(pick(0.8)) - 1  # worst on all but at most one J
+
+    # paper claim 3: at alpha = 0.8 DP_Greedy is best beyond J > 0.3
+    for r in pick(0.8):
+        if r["jaccard"] > 0.4:
+            assert r["dp_greedy"] <= min(r["optimal"], r["package_served"]) + 1e-9
+
+    # paper claim 4: DP_Greedy approaches Package_Served for small alpha
+    for r in pick(0.2):
+        if r["jaccard"] > 0.3:
+            assert r["dp_greedy"] <= r["package_served"] + 1e-9
+
+    # monotone sanity: Package_Served's cost grows with alpha at fixed J
+    for j in {r["jaccard"] for r in rows}:
+        costs = [r["package_served"] for r in rows if r["jaccard"] == j]
+        assert costs == sorted(costs)

@@ -1,0 +1,26 @@
+"""Benchmark E8: the Theorem 1 approximation-ratio study."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_ratio_study
+
+
+def test_bench_ratio_study(benchmark):
+    result = run_once(benchmark, run_ratio_study, trials=15, n_requests=120)
+
+    for row in result.rows:
+        # Theorem 1 must hold on every randomized instance, both via the
+        # Lemma-1 certificate and against the exact packed optimum C*
+        assert row["violations"] == 0
+        assert row["worst_observed_ratio"] <= row["theorem_bound"] + 1e-9
+
+    # the bound tightens as alpha grows (2/alpha decreasing)
+    for method in ("lemma1-LB", "true-Cstar"):
+        bounds = [r["theorem_bound"] for r in result.rows if r["method"] == method]
+        assert bounds == sorted(bounds, reverse=True)
+        assert bounds, f"no rows for method {method}"
+
+    # companion: the simple greedy stays within its proven factor of 2
+    assert result.params["worst_greedy_over_optimal"] <= 2.0 + 1e-9

@@ -1,0 +1,51 @@
+"""Benchmark E9: the O(mn^2)/O(mn) complexity claims of Section V-B."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.cache.model import CostModel
+from repro.cache.optimal_dp import optimal_cost
+from repro.engine.prescan import PreScan
+from repro.experiments import run_scaling
+from repro.trace.workload import random_single_item_view
+
+MODEL = CostModel(mu=1.0, lam=1.0)
+
+
+def test_bench_scaling_study(benchmark):
+    result = run_once(benchmark, run_scaling, sizes=(100, 200, 400, 800))
+    # superlinear DP (theory ~2), near-linear pre-scan (theory ~1)
+    assert result.params["dp_loglog_slope"] > 1.0
+    assert (
+        result.params["prescan_loglog_slope"]
+        < result.params["dp_loglog_slope"] + 0.5
+    )
+
+
+def test_bench_dp_n500(benchmark):
+    view = random_single_item_view(500, 50, seed=1, horizon=500.0)
+    cost = benchmark(optimal_cost, view, MODEL)
+    assert cost > 0
+
+
+def test_bench_dp_n1000(benchmark):
+    view = random_single_item_view(1000, 50, seed=1, horizon=1000.0)
+    cost = benchmark(optimal_cost, view, MODEL)
+    assert cost > 0
+
+
+def test_bench_prescan_n2000_m50(benchmark):
+    view = random_single_item_view(2000, 50, seed=1, horizon=2000.0)
+    ps = benchmark(PreScan, view)
+    assert ps.recent.shape == (2000, 50)
+
+
+def test_bench_ilp_certification_n200(benchmark):
+    """The independent ILP certifier at its test scale."""
+    from repro.cache.ilp import ilp_optimal_cost
+
+    view = random_single_item_view(200, 30, seed=3, horizon=200.0)
+    cost = benchmark(ilp_optimal_cost, view, MODEL)
+    assert cost == pytest.approx(optimal_cost(view, MODEL))

@@ -1,0 +1,38 @@
+"""Benchmarks of the Section-V service pass vs the reference solvers.
+
+The paper's pre-scan structures exist for throughput; these benches put
+a number on it (and re-assert equivalence on the benched instance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.greedy import solve_greedy
+from repro.cache.model import CostModel
+from repro.engine.service import greedy_service_pass, package_service_pass
+from repro.trace.workload import correlated_pair_sequence, random_single_item_view
+
+MODEL = CostModel(mu=1.0, lam=1.0)
+
+
+def test_bench_greedy_service_pass_n2000(benchmark):
+    view = random_single_item_view(2000, 50, seed=7, horizon=2000.0)
+    cost = benchmark(greedy_service_pass, view, MODEL)
+    assert cost == pytest.approx(
+        solve_greedy(view, MODEL, build_schedule=False).cost
+    )
+
+
+def test_bench_reference_greedy_n2000(benchmark):
+    view = random_single_item_view(2000, 50, seed=7, horizon=2000.0)
+    res = benchmark(solve_greedy, view, MODEL, build_schedule=False)
+    assert res.cost > 0
+
+
+def test_bench_package_service_pass(benchmark):
+    seq = correlated_pair_sequence(800, 50, 0.45, seed=7, hotspot_skew=0.15)
+    cost = benchmark(
+        package_service_pass, seq, frozenset({1, 2}), MODEL, 0.8
+    )
+    assert cost > 0

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the core solvers (the library's hot paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.greedy import solve_greedy
+from repro.cache.model import CostModel
+from repro.cache.optimal_dp import optimal_cost, solve_optimal
+from repro.core.dp_greedy import solve_dp_greedy
+from repro.correlation.jaccard import correlation_stats
+from repro.trace.workload import correlated_pair_sequence, random_single_item_view
+from repro.trace.mobility import TaxiTraceConfig, generate_taxi_trace
+
+MODEL = CostModel(mu=1.0, lam=1.0)
+
+
+def test_bench_solve_optimal_with_schedule_n200(benchmark):
+    view = random_single_item_view(200, 20, seed=2, horizon=200.0)
+    res = benchmark(solve_optimal, view, MODEL)
+    assert res.schedule is not None
+
+
+def test_bench_greedy_n1000(benchmark):
+    view = random_single_item_view(1000, 50, seed=3, horizon=1000.0)
+    res = benchmark(solve_greedy, view, MODEL, build_schedule=False)
+    assert res.cost > 0
+
+
+def test_bench_correlation_stats_10_items(benchmark):
+    trace = generate_taxi_trace(
+        TaxiTraceConfig(num_taxis=10, duration=800.0, request_rate=0.5, seed=4)
+    )
+    stats = benchmark(correlation_stats, trace.sequence)
+    assert len(stats.items) == 10
+
+
+def test_bench_dp_greedy_pair_n400(benchmark):
+    seq = correlated_pair_sequence(400, 50, 0.45, seed=5, hotspot_skew=0.15)
+    res = benchmark(
+        solve_dp_greedy, seq, MODEL, theta=0.3, alpha=0.8
+    )
+    assert res.total_cost > 0
+
+
+def test_bench_dp_greedy_full_trace(benchmark):
+    trace = generate_taxi_trace(
+        TaxiTraceConfig(num_taxis=10, duration=400.0, request_rate=0.5, seed=6)
+    )
+    res = benchmark.pedantic(
+        solve_dp_greedy,
+        args=(trace.sequence, MODEL),
+        kwargs=dict(theta=0.3, alpha=0.8),
+        rounds=2,
+        iterations=1,
+    )
+    assert res.total_cost > 0

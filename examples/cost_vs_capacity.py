@@ -1,0 +1,79 @@
+"""Cost-oriented vs capacity-oriented caching: the paper's core thesis.
+
+Section II argues that classical (web/cooperative) caching is the wrong
+frame for the cloud: those systems maximise *hit ratio* under a capacity
+budget, whereas cloud storage is effectively unbounded but *billed*.
+This example replays one Zipf workload through both worlds:
+
+* classical fixed-capacity caches under LRU and GreedyDual [2], sweeping
+  the capacity and reporting both metrics;
+* the cost-oriented optimum (per-item optimal DP) and DP_Greedy.
+
+Watch the two metrics pull apart: every extra slot of capacity raises
+the hit ratio AND the monetary bill.
+
+Run:  python examples/cost_vs_capacity.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CapacityCacheSimulator,
+    CostModel,
+    solve_dp_greedy,
+    solve_optimal_nonpacking,
+)
+from repro.trace import zipf_item_workload
+from repro.viz import format_table
+
+
+def main() -> None:
+    model = CostModel(mu=1.0, lam=4.0)
+    seq = zipf_item_workload(
+        600, num_servers=20, num_items=12, seed=2019, cooccurrence=0.3
+    )
+    print(f"workload: {len(seq)} requests, {len(seq.items)} items, "
+          f"20 servers, mu={model.mu}, lam={model.lam}")
+
+    opt = solve_optimal_nonpacking(seq, model)
+    dpg = solve_dp_greedy(seq, model, theta=0.3, alpha=0.8)
+
+    rows = []
+    for policy in ("lru", "greedy-dual"):
+        for cap in (1, 2, 4, 8):
+            rep = CapacityCacheSimulator(20, cap, policy, model).replay(seq)
+            rows.append(
+                {
+                    "strategy": f"{policy} (capacity {cap})",
+                    "hit_ratio": rep.hit_ratio,
+                    "monetary_cost": rep.monetary_cost,
+                    "vs cost-optimal": rep.monetary_cost / opt.total_cost,
+                }
+            )
+    rows.append(
+        {
+            "strategy": "cost-oriented optimal (no packing)",
+            "hit_ratio": float("nan"),
+            "monetary_cost": opt.total_cost,
+            "vs cost-optimal": 1.0,
+        }
+    )
+    rows.append(
+        {
+            "strategy": "DP_Greedy (theta=0.3, alpha=0.8)",
+            "hit_ratio": float("nan"),
+            "monetary_cost": dpg.total_cost,
+            "vs cost-optimal": dpg.total_cost / opt.total_cost,
+        }
+    )
+    print()
+    print(format_table(rows))
+    print(
+        "\ntakeaway: hit ratio and monetary cost are different objectives -- "
+        "the capacity-oriented policies improve the former while the bill "
+        "keeps growing; the cost-oriented algorithms halve it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""On-line vs off-line caching: the substrate landscape of reference [6].
+
+The paper builds on Wang et al.'s off-line optimum and mentions their
+3-competitive on-line algorithm.  This example replays one single-item
+trajectory under four policies -- the certified off-line optimum, the
+simple greedy (the 2-approximation comparator of Section IV-B), the
+ski-rental on-line policy, and the always-transfer straw man -- and shows
+each one's schedule summary and its empirical competitive ratio.
+
+Run:  python examples/online_vs_offline.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CostModel,
+    solve_greedy,
+    solve_online_always_transfer,
+    solve_online_ski_rental,
+    solve_optimal,
+    validate_schedule,
+)
+from repro.trace import random_single_item_view
+from repro.viz import format_table
+
+
+def main() -> None:
+    view = random_single_item_view(80, num_servers=8, seed=23, horizon=60.0)
+    model = CostModel(mu=1.0, lam=2.0)
+
+    opt = solve_optimal(view, model)
+    greedy = solve_greedy(view, model)
+    ski = solve_online_ski_rental(view, model)
+    always = solve_online_always_transfer(view, model)
+
+    # every policy's schedule must pass the independent feasibility check
+    for schedule in (opt.schedule, greedy.schedule, ski.schedule, always.schedule):
+        validate_schedule(schedule, view)
+
+    rows = []
+    for name, cost, schedule in [
+        ("off-line optimal (DP)", opt.cost, opt.schedule),
+        ("simple greedy", greedy.cost, greedy.schedule),
+        ("on-line ski rental", ski.cost, ski.schedule),
+        ("on-line always-transfer", always.cost, always.schedule),
+    ]:
+        rows.append(
+            {
+                "policy": name,
+                "cost": cost,
+                "vs optimal": cost / opt.cost,
+                "transfers": schedule.num_transfers,
+                "cache_time": schedule.total_cache_time,
+            }
+        )
+    print(f"trajectory: {len(view)} requests over {view.num_servers} servers, "
+          f"mu={model.mu}, lam={model.lam}\n")
+    print(format_table(rows))
+
+    print(
+        "\nguarantees: greedy <= 2x optimal (Section IV-B); the on-line "
+        "policies never see the future, so their gap is the price of "
+        "on-line service ([6] proves 3-competitive is achievable)."
+    )
+
+
+if __name__ == "__main__":
+    main()

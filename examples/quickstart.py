@@ -1,0 +1,78 @@
+"""Quickstart: serve a small correlated workload with DP_Greedy.
+
+Walks the public API end to end on the paper's Section V.C running
+example: build a request sequence, inspect the Phase-1 correlation
+analysis, run the two-phase algorithm, and print the cost breakdown next
+to the non-packing optimal baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CostModel,
+    RequestSequence,
+    correlation_stats,
+    solve_dp_greedy,
+    solve_optimal_nonpacking,
+)
+
+
+def main() -> None:
+    # The Section V.C instance: two correlated items over four servers.
+    # Requests are (server, time, items); item 1 and 2 co-occur 3 times.
+    seq = RequestSequence(
+        [
+            (3, 0.5, {1}),
+            (1, 0.8, {1, 2}),
+            (2, 1.1, {2}),
+            (2, 1.4, {1, 2}),
+            (3, 2.6, {1}),
+            (3, 3.2, {2}),
+            (1, 4.0, {1, 2}),
+        ],
+        num_servers=4,
+        origin=0,
+    )
+    model = CostModel(mu=1.0, lam=1.0)
+
+    # --- Phase 1: who correlates with whom? ---------------------------
+    stats = correlation_stats(seq)
+    print("pairwise Jaccard similarities:")
+    for j, d_i, d_j in stats.pairs_by_similarity():
+        print(f"  J(d{d_i}, d{d_j}) = {j:.4f}")
+
+    # --- the full two-phase algorithm ----------------------------------
+    result = solve_dp_greedy(seq, model, theta=0.4, alpha=0.8)
+    print(f"\npackages formed: {[sorted(p) for p in result.plan.packages]}")
+    for report in result.reports:
+        print(
+            f"  group {sorted(report.group)}: "
+            f"package/DP cost {report.package_cost:.2f}, "
+            f"single-sided greedy cost {report.single_sided_cost:.2f}"
+        )
+        for t, mode, cost in report.modes:
+            print(f"    t={t:g}: served via {mode} for {cost:.2f}")
+
+    print(f"\nDP_Greedy total cost : {result.total_cost:.2f}")
+    print(f"DP_Greedy ave_cost   : {result.ave_cost:.4f}")
+
+    # --- against the non-packing optimum -------------------------------
+    baseline = solve_optimal_nonpacking(seq, model)
+    print(f"Optimal (non-packing): {baseline.total_cost:.2f} "
+          f"(ave {baseline.ave_cost:.4f})")
+    delta = result.total_cost / baseline.total_cost - 1.0
+    if delta <= 0:
+        print(f"packing saves {-delta:.1%} on this workload")
+    else:
+        # The running example sits right at the packing break-even:
+        # J = 3/7 with alpha = 0.8 makes the discount barely too weak, so
+        # selective packing pays a small premium here -- and still stays
+        # far inside the 2/alpha guarantee of Theorem 1.
+        print(f"packing costs {delta:.1%} extra on this tiny instance "
+              "(it sits at the packing break-even; see Fig. 11)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Planning under imperfect prediction: the off-line premise, stress-tested.
+
+DP_Greedy assumes the request trajectory is known (the paper cites the
+~93% predictability of human mobility).  This example shows what happens
+when the prediction is wrong: a Markov next-zone model is scored on a
+synthetic taxi trace, then DP_Greedy *plans on a corrupted trajectory*
+(spatial + temporal + co-occurrence errors) and *serves the true one*.
+
+Watch the plan survive realistic error rates and break only when the
+observed Jaccard falls below theta.
+
+Run:  python examples/robust_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import CostModel, jaccard_similarity, solve_dp_greedy
+from repro.trace import (
+    MarkovZonePredictor,
+    TaxiTraceConfig,
+    correlated_pair_sequence,
+    generate_taxi_trace,
+    perturb_sequence,
+)
+from repro.cache.model import RequestSequence
+from repro.viz import format_table
+
+
+def main() -> None:
+    # --- how predictable is the synthetic mobility? ---------------------
+    trace = generate_taxi_trace(
+        TaxiTraceConfig(num_taxis=8, duration=400.0, seed=42)
+    )
+    half = len(trace.sequence) // 2
+    train = RequestSequence(
+        trace.sequence.requests[:half], trace.grid.num_zones
+    )
+    test = RequestSequence(
+        trace.sequence.requests[half:], trace.grid.num_zones
+    )
+    predictor = MarkovZonePredictor(trace.grid.num_zones).fit(train)
+    print(
+        f"Markov next-zone accuracy on held-out trace half: "
+        f"{predictor.accuracy(test):.1%} "
+        "(random-waypoint taxis are less predictable than real commuters)"
+    )
+
+    # --- plan on corrupted data, serve the truth ------------------------
+    model = CostModel(mu=3.0, lam=3.0)
+    theta, alpha = 0.3, 0.8
+    truth = correlated_pair_sequence(400, 50, 0.6, seed=7, hotspot_skew=0.15)
+    informed = solve_dp_greedy(truth, model, theta=theta, alpha=alpha)
+    print(
+        f"\ntrue workload: J(d1,d2) = {jaccard_similarity(truth, 1, 2):.2f}; "
+        f"fully-informed ave_cost = {informed.ave_cost:.4f} "
+        f"(packs: {[sorted(p) for p in informed.plan.packages]})"
+    )
+
+    rows = []
+    for eps in (0.0, 0.1, 0.3, 0.5, 0.7):
+        predicted = perturb_sequence(
+            truth, error_rate=eps, seed=1, time_jitter=0.2, item_miss_rate=eps
+        )
+        planned = solve_dp_greedy(predicted, model, theta=theta, alpha=alpha)
+        served = solve_dp_greedy(
+            truth, model, theta=theta, alpha=alpha, plan=planned.plan
+        )
+        rows.append(
+            {
+                "error rate": eps,
+                "observed J": jaccard_similarity(predicted, 1, 2),
+                "plan packs?": "yes" if planned.plan.packages else "no",
+                "served ave_cost": served.ave_cost,
+                "penalty": served.ave_cost / informed.ave_cost,
+            }
+        )
+    print()
+    print(format_table(rows))
+    print(
+        "\ntakeaway: the packing decision rides on co-occurrence statistics;"
+        " location errors are free, and the plan only flips once the"
+        f" observed similarity crosses theta = {theta}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so the PEP 660 editable-install path (``bdist_wheel``) is unavailable.
+Keeping a ``setup.py`` (and no ``[build-system]`` table in
+``pyproject.toml``) lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` route, which works offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

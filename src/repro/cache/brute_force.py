@@ -1,0 +1,82 @@
+"""Exhaustive optimal solver: the oracle that certifies the DP.
+
+Explores the full state space of standard-form schedules: between
+consecutive request times every live copy is independently kept (paying
+``mu * gap`` each) or destroyed, and each request is served by cache when
+its server kept a copy or by a transfer from any surviving copy
+(``lam``).  The search is exact over this space, which contains an optimal
+schedule (see the argument in :mod:`repro.cache.optimal_dp`); its cost is
+used in tests as the ground truth for :func:`repro.cache.optimal_dp.solve_optimal`.
+
+Complexity is ``O(n * 4^m)`` -- strictly a test utility.  The solver
+refuses inputs beyond ``MAX_SERVERS``/``MAX_REQUESTS`` to avoid accidental
+use in experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Tuple
+
+from .model import CostModel, RequestSequence, SingleItemView
+
+__all__ = ["brute_force_cost", "MAX_SERVERS", "MAX_REQUESTS"]
+
+MAX_SERVERS = 6
+MAX_REQUESTS = 12
+
+
+def brute_force_cost(
+    view: "SingleItemView | RequestSequence",
+    model: CostModel,
+) -> float:
+    """Exact minimum service cost by exhaustive state-space search.
+
+    State: the set of servers holding a live copy after each request is
+    served.  Transition to the next request time: choose any non-empty
+    subset of copies to keep across the gap (each pays ``mu * gap``; an
+    empty subset is allowed only after the final request), then serve the
+    request by cache (its server kept a copy) or by one transfer.
+    """
+    if isinstance(view, RequestSequence):
+        view = view.single_item_view()
+    if view.num_servers > MAX_SERVERS:
+        raise ValueError(f"brute force limited to {MAX_SERVERS} servers")
+    if len(view.times) > MAX_REQUESTS:
+        raise ValueError(f"brute force limited to {MAX_REQUESTS} requests")
+    if len(view.times) and view.times[0] <= 0.0:
+        raise ValueError("request times must be strictly positive")
+
+    mu, lam = model.mu, model.lam
+    servers, times = view.servers, view.times
+    n = len(times)
+    if n == 0:
+        return 0.0
+
+    # states: frozenset of servers with a live copy, at the current time
+    states: Dict[FrozenSet[int], float] = {frozenset((view.origin,)): 0.0}
+    prev_t = 0.0
+
+    for s_i, t_i in zip(servers, times):
+        gap = t_i - prev_t
+        nxt: Dict[FrozenSet[int], float] = {}
+        for copies, cost in states.items():
+            members = sorted(copies)
+            # every non-empty subset of current copies may survive the gap
+            for r in range(1, len(members) + 1):
+                for kept in itertools.combinations(members, r):
+                    kept_set = frozenset(kept)
+                    c = cost + mu * gap * len(kept)
+                    if s_i in kept_set:
+                        new_state = kept_set
+                        new_cost = c  # served by cache
+                    else:
+                        new_state = kept_set | {s_i}
+                        new_cost = c + lam  # served by one transfer
+                    best = nxt.get(new_state)
+                    if best is None or new_cost < best:
+                        nxt[new_state] = new_cost
+        states = nxt
+        prev_t = t_i
+
+    return min(states.values())

@@ -1,0 +1,169 @@
+"""Capacity-oriented classical caching: the related-work contrast.
+
+Section II distinguishes this paper from the classical literature: web
+and cooperative caches are **capacity-oriented** -- a fixed-size cache
+per server, eviction policies, hit ratio as the metric -- whereas cloud
+caching is **cost-oriented** (storage is effectively unbounded but
+billed).  To make that contrast measurable, this module implements the
+classical side:
+
+* :class:`CapacityCacheSimulator` -- per-server fixed-capacity caches
+  replayed over a request sequence; misses fetch from the origin's
+  permanent store (one transfer) and insert with eviction;
+* policies: ``lru``, ``lfu``, ``fifo``, and ``greedy-dual`` (the
+  cost-aware classic of the paper's reference [2], Cao & Irani: each
+  cached item carries credit ``H = L + cost``; eviction takes the lowest
+  credit and raises the watermark ``L``);
+* both metrics: the classical **hit ratio** and the paper's **monetary
+  cost** (``mu`` per item per residency time unit + ``lam`` per fetch).
+  Origin storage is billed to nobody (free permanent store), which
+  *favours* the classical policies in the comparison.
+
+:mod:`repro.experiments.capacity_study` sweeps the capacity and shows
+the paper's motivating claim: policies that maximise hit ratio keep
+caches full forever and pay for it dearly under cost-oriented billing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import CostModel, RequestSequence
+
+__all__ = ["CapacityCacheSimulator", "CapacityReplayResult", "POLICIES"]
+
+POLICIES = ("lru", "lfu", "fifo", "greedy-dual")
+
+
+@dataclass
+class _Entry:
+    item: int
+    since: float  # residency start (for billing)
+    last_use: float
+    inserted_seq: int  # FIFO tiebreaker
+    uses: int = 1  # LFU counter
+    credit: float = 0.0  # GreedyDual H-value
+
+
+@dataclass(frozen=True)
+class CapacityReplayResult:
+    """Outcome of one capacity-cache replay."""
+
+    policy: str
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+    monetary_cost: float
+    cache_time: float
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CapacityCacheSimulator:
+    """Fixed-capacity per-server caches with a pluggable eviction policy."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        capacity: int,
+        policy: str = "lru",
+        model: Optional[CostModel] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        self.num_servers = num_servers
+        self.capacity = capacity
+        self.policy = policy
+        self.model = model or CostModel(mu=1.0, lam=1.0)
+
+    # ------------------------------------------------------------------
+    def replay(self, seq: RequestSequence) -> CapacityReplayResult:
+        """Run the sequence through the caches; return both metrics."""
+        if seq.num_servers > self.num_servers:
+            raise ValueError("simulator covers fewer servers than the workload")
+        mu, lam = self.model.mu, self.model.lam
+        caches: List[Dict[int, _Entry]] = [dict() for _ in range(self.num_servers)]
+        watermark = [0.0] * self.num_servers  # GreedyDual's L per server
+
+        hits = misses = evictions = 0
+        cost = 0.0
+        cache_time = 0.0
+        seq_no = 0
+        end_time = seq.times[-1] if len(seq) else 0.0
+
+        def evict(server: int, now: float) -> None:
+            nonlocal evictions, cost, cache_time
+            cache = caches[server]
+            victim = self._choose_victim(cache, self.policy)
+            entry = cache.pop(victim)
+            if self.policy == "greedy-dual":
+                watermark[server] = max(watermark[server], entry.credit)
+            span = now - entry.since
+            cost += mu * span
+            cache_time += span
+            evictions += 1
+
+        for r in seq:
+            s, t = r.server, r.time
+            cache = caches[s]
+            for item in sorted(r.items):
+                seq_no += 1
+                entry = cache.get(item)
+                if entry is not None:
+                    hits += 1
+                    entry.last_use = t
+                    entry.uses += 1
+                    if self.policy == "greedy-dual":
+                        entry.credit = watermark[s] + lam
+                    continue
+                misses += 1
+                cost += lam  # fetch from the origin's permanent store
+                if len(cache) >= self.capacity:
+                    evict(s, t)
+                cache[item] = _Entry(
+                    item=item,
+                    since=t,
+                    last_use=t,
+                    inserted_seq=seq_no,
+                    credit=watermark[s] + lam,
+                )
+
+        # bill residual residency up to the end of the trace
+        for server, cache in enumerate(caches):
+            for entry in cache.values():
+                span = end_time - entry.since
+                cost += mu * span
+                cache_time += span
+
+        return CapacityReplayResult(
+            policy=self.policy,
+            capacity=self.capacity,
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            monetary_cost=cost,
+            cache_time=cache_time,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _choose_victim(cache: Dict[int, _Entry], policy: str) -> int:
+        if policy == "lru":
+            return min(cache.values(), key=lambda e: (e.last_use, e.item)).item
+        if policy == "lfu":
+            return min(cache.values(), key=lambda e: (e.uses, e.last_use, e.item)).item
+        if policy == "fifo":
+            return min(cache.values(), key=lambda e: (e.inserted_seq, e.item)).item
+        if policy == "greedy-dual":
+            return min(cache.values(), key=lambda e: (e.credit, e.last_use, e.item)).item
+        raise AssertionError(f"unreachable policy {policy}")

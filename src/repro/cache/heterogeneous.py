@@ -1,0 +1,226 @@
+"""Heterogeneous cost model: the hardness frontier of Section III-C.
+
+The paper restricts itself to the homogeneous cost model and notes that
+the general (heterogeneous) variant relates to the rectilinear Steiner
+arborescence problem and is believed NP-complete [7], [19].  This module
+implements that variant so the library covers the full landscape:
+
+* :class:`HeteroCostModel` -- per-server caching rates ``mu_i`` and a
+  per-pair transfer matrix ``lam_ij`` (symmetric, zero diagonal);
+* :func:`hetero_brute_force` -- exact optimum by exhaustive state-space
+  search (same structure as the homogeneous oracle, now tracking which
+  server each copy lives on for the rate lookups);
+* :func:`solve_hetero_greedy` -- the natural generalisation of the simple
+  greedy: serve each request by the cheaper of caching on its own server
+  or keeping-then-transferring from the most recent request's server.
+
+The homogeneous model embeds as the special case of constant rates, and
+the tests pin the two implementations together on that diagonal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .model import RequestSequence, SingleItemView
+from .schedule import CacheInterval, Schedule, Transfer
+
+__all__ = [
+    "HeteroCostModel",
+    "hetero_brute_force",
+    "solve_hetero_greedy",
+    "HeteroGreedyResult",
+    "MAX_SERVERS",
+    "MAX_REQUESTS",
+]
+
+MAX_SERVERS = 5
+MAX_REQUESTS = 10
+
+
+@dataclass(frozen=True)
+class HeteroCostModel:
+    """Per-server/per-link rates.
+
+    Attributes
+    ----------
+    mu:
+        Length-``m`` array; ``mu[i]`` is server ``i``'s caching cost per
+        time unit.
+    lam:
+        ``m x m`` symmetric matrix; ``lam[i, j]`` is the transfer cost
+        between servers ``i`` and ``j`` (diagonal must be zero).
+    """
+
+    mu: np.ndarray
+    lam: np.ndarray
+
+    def __post_init__(self) -> None:
+        mu = np.asarray(self.mu, dtype=float)
+        lam = np.asarray(self.lam, dtype=float)
+        object.__setattr__(self, "mu", mu)
+        object.__setattr__(self, "lam", lam)
+        if mu.ndim != 1:
+            raise ValueError("mu must be a 1-D array of per-server rates")
+        m = len(mu)
+        if lam.shape != (m, m):
+            raise ValueError(f"lam must be {m}x{m}, got {lam.shape}")
+        if np.any(mu < 0) or np.any(lam < 0):
+            raise ValueError("rates must be non-negative")
+        if not np.allclose(lam, lam.T):
+            raise ValueError("lam must be symmetric")
+        if np.any(np.diag(lam) != 0):
+            raise ValueError("self-transfers must be free (zero diagonal)")
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.mu)
+
+    @staticmethod
+    def homogeneous(m: int, mu: float, lam: float) -> "HeteroCostModel":
+        """The paper's homogeneous model as a degenerate instance."""
+        lam_mat = np.full((m, m), lam, dtype=float)
+        np.fill_diagonal(lam_mat, 0.0)
+        return HeteroCostModel(np.full(m, mu, dtype=float), lam_mat)
+
+    @staticmethod
+    def random(
+        m: int,
+        *,
+        seed: int = 0,
+        mu_range: Tuple[float, float] = (0.5, 2.0),
+        lam_range: Tuple[float, float] = (0.5, 3.0),
+    ) -> "HeteroCostModel":
+        """A random symmetric instance (for tests and experiments)."""
+        rng = np.random.default_rng(seed)
+        mu = rng.uniform(*mu_range, size=m)
+        tri = rng.uniform(*lam_range, size=(m, m))
+        lam = np.triu(tri, 1)
+        lam = lam + lam.T
+        return HeteroCostModel(mu, lam)
+
+
+def _check_limits(view: SingleItemView) -> None:
+    if view.num_servers > MAX_SERVERS:
+        raise ValueError(f"heterogeneous solvers limited to {MAX_SERVERS} servers")
+    if len(view.times) > MAX_REQUESTS:
+        raise ValueError(f"heterogeneous solvers limited to {MAX_REQUESTS} requests")
+    if len(view.times) and view.times[0] <= 0:
+        raise ValueError("request times must be strictly positive")
+
+
+def hetero_brute_force(
+    view: "SingleItemView | RequestSequence",
+    model: HeteroCostModel,
+) -> float:
+    """Exact single-item optimum under heterogeneous rates.
+
+    State: the set of servers holding a copy.  Gap transition bills
+    ``mu[i] * dt`` per kept copy; serving uses the cheapest feasible
+    transfer edge ``lam[src, s_i]`` over surviving sources.
+    """
+    if isinstance(view, RequestSequence):
+        view = view.single_item_view()
+    _check_limits(view)
+    if model.num_servers < view.num_servers:
+        raise ValueError("cost model covers fewer servers than the workload")
+
+    mu, lam = model.mu, model.lam
+    states: Dict[FrozenSet[int], float] = {frozenset((view.origin,)): 0.0}
+    prev_t = 0.0
+
+    for s_i, t_i in zip(view.servers, view.times):
+        dt = t_i - prev_t
+        nxt: Dict[FrozenSet[int], float] = {}
+        for copies, cost in states.items():
+            members = sorted(copies)
+            for r in range(1, len(members) + 1):
+                for kept in itertools.combinations(members, r):
+                    kept_set = frozenset(kept)
+                    c = cost + dt * float(sum(mu[k] for k in kept))
+                    if s_i in kept_set:
+                        new_state, new_cost = kept_set, c
+                    else:
+                        cheapest = min(float(lam[k, s_i]) for k in kept)
+                        new_state = kept_set | {s_i}
+                        new_cost = c + cheapest
+                    best = nxt.get(new_state)
+                    if best is None or new_cost < best:
+                        nxt[new_state] = new_cost
+        states = nxt
+        prev_t = t_i
+
+    return min(states.values()) if states else 0.0
+
+
+@dataclass(frozen=True)
+class HeteroGreedyResult:
+    cost: float
+    schedule: Optional[Schedule]
+    per_request: Tuple[Tuple[str, float], ...]
+
+
+def solve_hetero_greedy(
+    view: "SingleItemView | RequestSequence",
+    model: HeteroCostModel,
+    *,
+    build_schedule: bool = True,
+) -> HeteroGreedyResult:
+    """Simple greedy under heterogeneous rates.
+
+    Request ``r_i`` is served by the cheaper of
+
+    * cache on its own server since ``r_{p(i)}``:
+      ``mu[s_i] * (t_i - t_{p(i)})``, or
+    * keep the most recent request's copy alive and transfer:
+      ``mu[s_prev] * (t_i - t_prev) + lam[s_prev, s_i]``.
+
+    No artificial size limits apply (greedy is polynomial); only the
+    exact solver is bounded.
+    """
+    if isinstance(view, RequestSequence):
+        view = view.single_item_view()
+    if len(view.times) and view.times[0] <= 0:
+        raise ValueError("request times must be strictly positive")
+    if model.num_servers < view.num_servers:
+        raise ValueError("cost model covers fewer servers than the workload")
+
+    mu, lam = model.mu, model.lam
+    servers = [view.origin, *view.servers]
+    times = [0.0, *view.times]
+
+    last_on_server: Dict[int, float] = {view.origin: 0.0}
+    intervals: List[CacheInterval] = []
+    transfers: List[Transfer] = []
+    per_request: List[Tuple[str, float]] = []
+    total = 0.0
+
+    for i in range(1, len(times)):
+        s_i, t_i = servers[i], times[i]
+        t_p = last_on_server.get(s_i)
+        cache_cost = (
+            float(mu[s_i]) * (t_i - t_p) if t_p is not None else float("inf")
+        )
+        prev_s, prev_t = servers[i - 1], times[i - 1]
+        transfer_cost = float(mu[prev_s]) * (t_i - prev_t) + float(lam[prev_s, s_i])
+
+        if cache_cost <= transfer_cost:
+            total += cache_cost
+            per_request.append(("cache", cache_cost))
+            intervals.append(CacheInterval(s_i, t_p, t_i))
+        else:
+            total += transfer_cost
+            per_request.append(("transfer", transfer_cost))
+            intervals.append(CacheInterval(prev_s, prev_t, t_i))
+            if prev_s != s_i:
+                transfers.append(Transfer(prev_s, s_i, t_i))
+        last_on_server[s_i] = t_i
+
+    schedule = (
+        Schedule(tuple(intervals), tuple(transfers)) if build_schedule else None
+    )
+    return HeteroGreedyResult(total, schedule, tuple(per_request))

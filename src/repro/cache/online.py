@@ -1,0 +1,163 @@
+"""On-line single-item caching policies (context algorithms from [6]).
+
+The paper's substrate reference (Wang et al., ICPP 2017) pairs its optimal
+off-line algorithm with a fast 3-competitive on-line algorithm.  This
+module provides on-line comparators so that the library covers the whole
+algorithmic landscape the paper situates itself in:
+
+* :func:`solve_online_ski_rental` -- the classic deterministic rent-or-buy
+  policy: after serving a request, a server keeps its copy until the
+  accrued caching cost since its last use reaches ``lam`` (at which point
+  keeping was as expensive as a later re-transfer) and then drops it; one
+  designated copy (the most recently used) is never dropped, preserving
+  persistence.  This is the standard 2-competitive ski-rental trade-off
+  per server and mirrors the structure of the 3-competitive algorithm
+  described in [6].
+* :func:`solve_online_always_transfer` -- the no-cache straw man: keep only
+  the most recent copy and transfer on every server change.
+
+Both see requests one at a time and never inspect the future; they are
+benchmarked against the off-line optimum in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .model import CostModel, RequestSequence, SingleItemView
+from .schedule import CacheInterval, Schedule, Transfer
+
+__all__ = [
+    "OnlineResult",
+    "solve_online_ski_rental",
+    "solve_online_always_transfer",
+]
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Outcome of an on-line policy replayed over a trajectory."""
+
+    cost: float
+    schedule: Optional[Schedule]
+    num_transfers: int
+    total_cache_time: float
+
+
+def _coerce(view: "SingleItemView | RequestSequence") -> SingleItemView:
+    if isinstance(view, RequestSequence):
+        view = view.single_item_view()
+    if len(view.times) and view.times[0] <= 0.0:
+        raise ValueError("request times must be strictly positive")
+    return view
+
+
+def solve_online_ski_rental(
+    view: "SingleItemView | RequestSequence",
+    model: CostModel,
+    *,
+    build_schedule: bool = True,
+) -> OnlineResult:
+    """Replay the deterministic ski-rental on-line policy.
+
+    Every copy tracks the time of its last use.  When a request arrives at
+    time ``t``:
+
+    1. every non-primary copy whose idle span exceeds ``lam / mu`` is
+       retroactively dropped at ``last_use + lam/mu`` (it only ever paid
+       ``lam`` worth of idle caching -- the ski-rental guarantee);
+    2. the request is served by cache when its server still holds a copy,
+       otherwise by a transfer from the primary copy;
+    3. the serving server becomes the primary copy holder.
+    """
+    view = _coerce(view)
+    mu, lam = model.mu, model.lam
+    threshold = lam / mu if mu > 0 else float("inf")
+
+    # copy state: server -> (birth_time, last_use_time)
+    copies: Dict[int, Tuple[float, float]] = {view.origin: (0.0, 0.0)}
+    primary = view.origin
+    intervals: List[CacheInterval] = []
+    transfers: List[Transfer] = []
+    cost = 0.0
+    cache_time = 0.0
+
+    def retire(server: int, end: float) -> None:
+        nonlocal cost, cache_time
+        birth, _last = copies.pop(server)
+        span = end - birth
+        cost += mu * span
+        cache_time += span
+        intervals.append(CacheInterval(server, birth, end))
+
+    for s_i, t_i in zip(view.servers, view.times):
+        # 1. drop expired secondary copies
+        for server in list(copies):
+            if server == primary:
+                continue
+            birth, last = copies[server]
+            if t_i - last > threshold:
+                retire(server, last + threshold)
+
+        # 2. serve
+        if s_i in copies:
+            birth, _last = copies[s_i]
+            copies[s_i] = (birth, t_i)
+        else:
+            # keep the primary alive up to now, then transfer from it
+            birth, _last = copies[primary]
+            copies[primary] = (birth, t_i)
+            cost += lam
+            transfers.append(Transfer(primary, s_i, t_i))
+            copies[s_i] = (t_i, t_i)
+
+        # 3. rotate primary to the serving server
+        primary = s_i
+
+    # close out remaining copies at their last useful instant
+    for server in list(copies):
+        _birth, last = copies[server]
+        retire(server, last)
+
+    schedule = (
+        Schedule(tuple(intervals), tuple(transfers)) if build_schedule else None
+    )
+    return OnlineResult(cost, schedule, len(transfers), cache_time)
+
+
+def solve_online_always_transfer(
+    view: "SingleItemView | RequestSequence",
+    model: CostModel,
+    *,
+    build_schedule: bool = True,
+) -> OnlineResult:
+    """Keep exactly one copy (the most recent) and transfer on every move.
+
+    Cost is ``mu * (t_n - 0)`` for the single always-alive copy plus
+    ``lam`` whenever consecutive requests land on different servers.  This
+    is the natural lower envelope of "no caching strategy at all" and the
+    worst reasonable on-line comparator.
+    """
+    view = _coerce(view)
+    mu, lam = model.mu, model.lam
+    intervals: List[CacheInterval] = []
+    transfers: List[Transfer] = []
+    cost = 0.0
+    cache_time = 0.0
+
+    cur_server, cur_since = view.origin, 0.0
+    for s_i, t_i in zip(view.servers, view.times):
+        span = t_i - cur_since
+        cost += mu * span
+        cache_time += span
+        intervals.append(CacheInterval(cur_server, cur_since, t_i))
+        if s_i != cur_server:
+            cost += lam
+            transfers.append(Transfer(cur_server, s_i, t_i))
+        cur_server, cur_since = s_i, t_i
+
+    schedule = (
+        Schedule(tuple(intervals), tuple(transfers)) if build_schedule else None
+    )
+    return OnlineResult(cost, schedule, len(transfers), cache_time)

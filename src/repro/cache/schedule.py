@@ -1,0 +1,255 @@
+"""Schedules: the space--time object every solver produces.
+
+A *feasible schedule* (Fig. 1 of the paper) consists of horizontal *cache
+intervals* (a copy of the item held on one server over a time span) and
+vertical *transfers* (a copy shipped between two servers at an instant).
+Following [7] the library works in *standard form*: every transfer occurs
+at a request time.
+
+This module provides
+
+* :class:`CacheInterval` and :class:`Transfer` -- the schedule atoms,
+* :class:`Schedule` -- a container with independent cost accounting,
+* :func:`validate_schedule` -- a from-first-principles feasibility checker
+  used by the test-suite to certify every solver's output.
+
+The validator deliberately shares no code with the solvers: it replays the
+schedule on a timeline and checks the physical rules of the model --
+
+1. a copy can only appear where a copy already is (continuity of custody:
+   the item starts at the origin server at time 0 and can never be
+   resurrected once every copy is destroyed),
+2. every transfer's source holds a live copy at the transfer instant,
+3. every request finds a copy at its server at its time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .model import CostModel, RequestSequence, SingleItemView
+
+__all__ = [
+    "CacheInterval",
+    "Transfer",
+    "Schedule",
+    "ScheduleError",
+    "validate_schedule",
+]
+
+#: Numerical slack used when comparing timestamps.
+_EPS = 1e-9
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates the feasibility rules."""
+
+
+@dataclass(frozen=True, slots=True)
+class CacheInterval:
+    """A copy of the item held on ``server`` during ``[start, end]``."""
+
+    server: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start - _EPS:
+            raise ValueError(f"interval ends before it starts: {self}")
+        if self.server < 0:
+            raise ValueError("server index must be non-negative")
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def covers(self, t: float) -> bool:
+        """Whether the copy is live at time ``t`` (endpoints inclusive)."""
+        return self.start - _EPS <= t <= self.end + _EPS
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[s{self.server}: {self.start:g}->{self.end:g}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """A copy shipped from ``src`` to ``dst`` at instant ``time``."""
+
+    src: int
+    dst: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("server indices must be non-negative")
+        if self.src == self.dst:
+            raise ValueError("a transfer must move between distinct servers")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(s{self.src}->s{self.dst} @ {self.time:g})"
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete schedule for one (pseudo-)item.
+
+    ``rate_multiplier`` scales both cost rates; a two-item package schedule
+    carries ``rate_multiplier = 2 * alpha`` so that its cost is reported in
+    the same ledger as plain items (Table II).
+    """
+
+    intervals: Tuple[CacheInterval, ...]
+    transfers: Tuple[Transfer, ...]
+    rate_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "intervals", tuple(self.intervals))
+        object.__setattr__(self, "transfers", tuple(self.transfers))
+        if self.rate_multiplier <= 0:
+            raise ValueError("rate multiplier must be positive")
+
+    # ------------------------------------------------------------------
+    def cost(self, model: CostModel) -> float:
+        """Total cost: ``mu * total caching time + lam * #transfers``.
+
+        Overlapping intervals on the same server are *not* merged -- the
+        schedule is charged exactly as written.  Solvers that never emit
+        overlapping copies (the optimal DP) are unaffected; the greedy
+        ledger semantics of the paper (each request pays its own way) is
+        preserved for solvers that do.
+        """
+        total_time = sum(iv.duration for iv in self.intervals)
+        raw = model.mu * total_time + model.lam * len(self.transfers)
+        return raw * self.rate_multiplier
+
+    def merged_cost(self, model: CostModel) -> float:
+        """Cost after merging overlapping same-server intervals.
+
+        This is the cost a physical execution of the schedule would incur
+        (a server holds at most one copy of an item); it is always less
+        than or equal to :meth:`cost`.
+        """
+        per_server: dict[int, List[Tuple[float, float]]] = {}
+        for iv in self.intervals:
+            per_server.setdefault(iv.server, []).append((iv.start, iv.end))
+        total_time = 0.0
+        for spans in per_server.values():
+            spans.sort()
+            cur_s, cur_e = spans[0]
+            for s, e in spans[1:]:
+                if s <= cur_e + _EPS:
+                    cur_e = max(cur_e, e)
+                else:
+                    total_time += cur_e - cur_s
+                    cur_s, cur_e = s, e
+            total_time += cur_e - cur_s
+        raw = model.mu * total_time + model.lam * len(self.transfers)
+        return raw * self.rate_multiplier
+
+    @property
+    def num_transfers(self) -> int:
+        return len(self.transfers)
+
+    @property
+    def total_cache_time(self) -> float:
+        return sum(iv.duration for iv in self.intervals)
+
+    def with_rate(self, rate_multiplier: float) -> "Schedule":
+        return Schedule(self.intervals, self.transfers, rate_multiplier)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ivs = " ".join(map(str, self.intervals))
+        trs = " ".join(map(str, self.transfers))
+        return f"Schedule(intervals: {ivs} | transfers: {trs})"
+
+
+def _coerce_view(
+    requests: "RequestSequence | SingleItemView",
+) -> Tuple[Sequence[int], Sequence[float], int]:
+    if isinstance(requests, RequestSequence):
+        return requests.servers, requests.times, requests.origin
+    return requests.servers, requests.times, requests.origin
+
+
+def validate_schedule(
+    schedule: Schedule,
+    requests: "RequestSequence | SingleItemView",
+    *,
+    require_serving: bool = True,
+) -> None:
+    """Check the physical feasibility of ``schedule`` for ``requests``.
+
+    Raises :class:`ScheduleError` on the first violation.  The rules are
+    those of Section III (see the module docstring).  When
+    ``require_serving`` is false, only copy-continuity is checked (useful
+    for partial schedules such as backbone-only fragments).
+    """
+    servers, times, origin = _coerce_view(requests)
+
+    # --- Rule 0: intervals and transfers are well-formed in time -------
+    for tr in schedule.transfers:
+        if tr.time < -_EPS:
+            raise ScheduleError(f"transfer before time zero: {tr}")
+    for iv in schedule.intervals:
+        if iv.start < -_EPS:
+            raise ScheduleError(f"interval before time zero: {iv}")
+
+    # --- Rule 1: continuity of custody ---------------------------------
+    # A copy is "supported" at (server, t) when one of the following holds:
+    #   (a) server == origin and t == 0 (initial placement),
+    #   (b) a *valid* interval on `server` covers t,
+    #   (c) a *valid* transfer into `server` happens at exactly t.
+    # An interval is valid when its start point is supported; a transfer is
+    # valid when its source point is supported.  Validity is computed as a
+    # monotone fixpoint from the root (origin, 0) so that circular
+    # justifications (two atoms anchoring each other with no path back to
+    # the origin) are rejected.
+    valid_iv = [False] * len(schedule.intervals)
+    valid_tr = [False] * len(schedule.transfers)
+
+    def supported(server: int, t: float) -> bool:
+        if server == origin and abs(t) <= _EPS:
+            return True
+        for idx, iv in enumerate(schedule.intervals):
+            if valid_iv[idx] and iv.server == server and iv.covers(t):
+                return True
+        for idx, tr in enumerate(schedule.transfers):
+            if valid_tr[idx] and tr.dst == server and abs(tr.time - t) <= _EPS:
+                return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for idx, iv in enumerate(schedule.intervals):
+            if not valid_iv[idx] and supported(iv.server, iv.start):
+                valid_iv[idx] = True
+                changed = True
+        for idx, tr in enumerate(schedule.transfers):
+            if not valid_tr[idx] and supported(tr.src, tr.time):
+                valid_tr[idx] = True
+                changed = True
+
+    for idx, iv in enumerate(schedule.intervals):
+        if not valid_iv[idx]:
+            raise ScheduleError(f"interval starts with no copy present: {iv}")
+    for idx, tr in enumerate(schedule.transfers):
+        if not valid_tr[idx]:
+            raise ScheduleError(f"transfer source has no live copy: {tr}")
+
+    if not require_serving:
+        return
+
+    # --- Rule 2: every request is served -------------------------------
+    for s, t in zip(servers, times):
+        served = any(iv.server == s and iv.covers(t) for iv in schedule.intervals)
+        if not served:
+            served = any(
+                tr.dst == s and abs(tr.time - t) <= _EPS for tr in schedule.transfers
+            )
+        if not served and s == origin and abs(t) <= _EPS:
+            served = True
+        if not served:
+            raise ScheduleError(f"request at (s{s}, t={t:g}) is not served")

@@ -1,0 +1,223 @@
+"""Command-line interface: regenerate any paper figure from the terminal.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig12 --out results/
+    python -m repro run all --out results/
+    python -m repro demo          # the Section V.C running example
+
+Each run prints the experiment's text report (parameter block, result
+table, ASCII chart, notes) and, with ``--out``, also writes the CSV and
+report artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import ALL_EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dpgreedy",
+        description=(
+            "Reproduction of 'DP_Greedy: A Two-Phase Caching Algorithm for "
+            "Mobile Cloud Services' (CLUSTER 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id (see 'list') or 'all'",
+    )
+    run.add_argument(
+        "--out",
+        default=None,
+        help="directory for CSV/report artefacts (default: print only)",
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads for a fast smoke run",
+    )
+
+    sub.add_parser("demo", help="run the Section V.C running example")
+
+    rep = sub.add_parser(
+        "report", help="run every experiment and write results/REPORT.md"
+    )
+    rep.add_argument("--out", default="results", help="output directory")
+    rep.add_argument("--quick", action="store_true", help="reduced sizes")
+
+    solve = sub.add_parser(
+        "solve",
+        help="run every algorithm on a trace CSV (see repro.trace.io format)",
+    )
+    solve.add_argument("trace", help="path to a server,time,items CSV")
+    solve.add_argument("--theta", type=float, default=0.3)
+    solve.add_argument("--alpha", type=float, default=0.8)
+    solve.add_argument("--mu", type=float, default=1.0)
+    solve.add_argument("--lam", type=float, default=1.0)
+
+    sched = sub.add_parser(
+        "schedule",
+        help="render space-time schedule diagrams (paper Figs. 1/2/7 style)",
+    )
+    sched.add_argument("--n", type=int, default=12, help="number of requests")
+    sched.add_argument("--servers", type=int, default=4, help="server count")
+    sched.add_argument("--seed", type=int, default=0, help="workload seed")
+    sched.add_argument("--mu", type=float, default=1.0, help="cache cost rate")
+    sched.add_argument("--lam", type=float, default=1.0, help="transfer cost")
+    return parser
+
+
+_QUICK_OVERRIDES = {
+    "online_study": dict(n_requests=120, repeats=1),
+    "robustness": dict(n_requests=150, error_rates=(0.0, 0.3, 0.6)),
+    "capacity_study": dict(n_requests=200, capacities=(1, 4)),
+    "trace_study": dict(alphas=(0.2, 0.8)),
+    "ledger_gap": dict(n_requests=120, alphas=(0.2, 0.8), jaccards=(0.2, 0.6)),
+    "hetero_study": dict(trials=4, spreads=(0.0, 0.5, 1.0)),
+    "ablation_theta": dict(n_per_pair=60),
+    "ablation_options": dict(n_requests=120),
+    "ablation_packing": dict(n_requests=150),
+    "fig11": dict(n_requests=120, repeats=1),
+    "fig12": dict(n_requests=120, repeats=1),
+    "fig13": dict(n_requests=120, repeats=1),
+    "ratio_study": dict(trials=5, n_requests=60),
+    "scaling": dict(sizes=(100, 200)),
+}
+
+
+def _run_one(name: str, out: Optional[str], quick: bool) -> int:
+    fn = ALL_EXPERIMENTS.get(name)
+    if fn is None:
+        print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+        return 2
+    kwargs = _QUICK_OVERRIDES.get(name, {}) if quick else {}
+    result = fn(**kwargs)
+    print(result.report())
+    if out:
+        path = result.save(out)
+        print(f"\nartefacts written to {path}/{result.experiment_id}.*")
+    return 0
+
+
+def _solve_trace(args: argparse.Namespace) -> int:
+    """Load a user trace and print the full algorithm comparison."""
+    from .cache.model import CostModel
+    from .core.baselines import solve_optimal_nonpacking, solve_package_served
+    from .core.dp_greedy import solve_dp_greedy
+    from .correlation import correlation_stats
+    from .trace.io import load_sequence
+    from .viz import format_table
+
+    seq = load_sequence(args.trace)
+    model = CostModel(mu=args.mu, lam=args.lam)
+    print(
+        f"trace: {len(seq)} requests, {len(seq.items)} items, "
+        f"{seq.num_servers} servers (origin s{seq.origin})"
+    )
+
+    stats = correlation_stats(seq)
+    top = stats.pairs_by_similarity()[:5]
+    if top:
+        print("top pair similarities: " + ", ".join(
+            f"J(d{a},d{b})={j:.3f}" for j, a, b in top
+        ))
+
+    dpg = solve_dp_greedy(seq, model, theta=args.theta, alpha=args.alpha)
+    opt = solve_optimal_nonpacking(seq, model)
+    pkg = solve_package_served(seq, model, theta=args.theta, alpha=args.alpha)
+    print(f"packages: {[sorted(p) for p in dpg.plan.packages]}")
+    print()
+    print(format_table([
+        {"algorithm": "DP_Greedy", "total_cost": dpg.total_cost,
+         "ave_cost": dpg.ave_cost},
+        {"algorithm": "Optimal (non-packing)", "total_cost": opt.total_cost,
+         "ave_cost": opt.ave_cost},
+        {"algorithm": "Package_Served", "total_cost": pkg.total_cost,
+         "ave_cost": pkg.ave_cost},
+    ]))
+    return 0
+
+
+def _render_schedules(args: argparse.Namespace) -> int:
+    """Draw the optimal and greedy schedules for one random trajectory."""
+    from .cache.greedy import solve_greedy
+    from .cache.model import CostModel
+    from .cache.optimal_dp import solve_optimal
+    from .trace.workload import random_single_item_view
+    from .viz.spacetime import render_schedule
+
+    view = random_single_item_view(
+        args.n, args.servers, seed=args.seed, horizon=float(args.n)
+    )
+    model = CostModel(mu=args.mu, lam=args.lam)
+    opt = solve_optimal(view, model)
+    greedy = solve_greedy(view, model)
+    print(
+        render_schedule(
+            opt.schedule, view,
+            title=f"optimal off-line schedule (cost {opt.cost:.2f})",
+        )
+    )
+    print()
+    print(
+        render_schedule(
+            greedy.schedule, view,
+            title=f"simple greedy schedule (cost {greedy.cost:.2f})",
+        )
+    )
+    print(
+        f"\ngreedy / optimal = {greedy.cost / opt.cost:.3f} "
+        "(Section IV-B proves <= 2)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    if args.command == "demo":
+        return _run_one("running_example", None, False)
+    if args.command == "schedule":
+        return _render_schedules(args)
+    if args.command == "solve":
+        return _solve_trace(args)
+    if args.command == "report":
+        from .experiments.report import run_report
+
+        path = run_report(args.out, quick=args.quick)
+        print(f"report written to {path}")
+        return 0
+    if args.command == "run":
+        if args.experiment == "all":
+            rc = 0
+            for name in ALL_EXPERIMENTS:
+                rc = max(rc, _run_one(name, args.out, args.quick))
+                print()
+            return rc
+        return _run_one(args.experiment, args.out, args.quick)
+
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,341 @@
+"""DP_Greedy: the paper's two-phase caching algorithm (Algorithm 1).
+
+Phase 1 (:mod:`repro.correlation`) scans the off-line request sequence,
+computes the pairwise Jaccard similarities, and greedily packs disjoint
+item pairs whose similarity exceeds the threshold ``theta``.
+
+Phase 2 serves each serving unit:
+
+* a **singleton** item is served over its own sub-sequence by the optimal
+  off-line single-item algorithm (the substrate [6],
+  :func:`repro.cache.optimal_dp.solve_optimal`);
+* a **package** ``{d_1, d_2}`` splits its requests into *co-occurrence*
+  nodes (both items) and *single-sided* nodes (exactly one).  The
+  co-occurrence nodes are served by the optimal algorithm run at package
+  rates ``2*alpha*mu`` / ``2*alpha*lam`` (Table II).  Each single-sided
+  node is served greedily (Observation 2) by the cheapest of
+
+  - ``mu * (t_i - t_{p(i)})`` -- cache from the most recent node carrying
+    the item on the *same server*,
+  - ``mu * (t_i - t_{i-1}) + lam`` -- keep the most recent node carrying
+    the item alive and transfer from it,
+  - ``2 * alpha * lam`` -- ship the whole package (constant, because the
+    package schedule keeps the package available at all times,
+    Observation 1).
+
+The virtual origin node ``(origin, t=0)`` carries every item, exactly as
+in the paper's running example (``Tr(0.5) = C(0) + 0.5*mu + lam``).
+
+The reported metric is ``ave_cost`` -- the total cost divided by
+``|d_1| + ... + |d_k|`` (Algorithm 1, line 50).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..cache.model import (
+    CostModel,
+    Request,
+    RequestSequence,
+    SingleItemView,
+    package_rate,
+)
+from ..cache.optimal_dp import solve_optimal
+from ..cache.schedule import Schedule
+from ..correlation.jaccard import CorrelationStats, correlation_stats
+from ..correlation.packing import (
+    PackingPlan,
+    greedy_group_packing,
+    greedy_pair_packing,
+)
+
+__all__ = [
+    "GroupReport",
+    "SingleSidedDecision",
+    "single_sided_decisions",
+    "DPGreedyResult",
+    "solve_dp_greedy",
+    "serve_package",
+    "serve_singleton",
+]
+
+#: Serving modes of single-sided package requests (Observation 2).
+MODE_CACHE, MODE_TRANSFER, MODE_PACKAGE = "cache", "transfer", "package"
+
+
+@dataclass(frozen=True)
+class GroupReport:
+    """Cost breakdown for one serving unit (package or singleton).
+
+    ``package_cost`` is the DP cost of the co-occurrence nodes at package
+    rates (for singletons, the full optimal cost of the item).
+    ``single_sided_cost`` is the greedy total over one-item nodes of a
+    package (zero for singletons).  ``modes`` records, per single-sided
+    node in time order, which Observation-2 option won.
+    """
+
+    group: FrozenSet[int]
+    package_cost: float
+    single_sided_cost: float
+    num_cooccurrence: int
+    num_single_sided: int
+    modes: Tuple[Tuple[float, str, float], ...]  # (time, mode, cost)
+    package_schedule: Optional[Schedule] = None
+
+    @property
+    def total(self) -> float:
+        return self.package_cost + self.single_sided_cost
+
+
+@dataclass(frozen=True)
+class DPGreedyResult:
+    """Full outcome of DP_Greedy on a request sequence."""
+
+    plan: PackingPlan
+    stats: CorrelationStats
+    reports: Tuple[GroupReport, ...]
+    total_cost: float
+    denominator: int
+    theta: float
+    alpha: float
+
+    @property
+    def ave_cost(self) -> float:
+        """Algorithm 1, line 50: total cost over total item-requests."""
+        return self.total_cost / self.denominator if self.denominator else 0.0
+
+    def report_for(self, group: FrozenSet[int]) -> GroupReport:
+        for r in self.reports:
+            if r.group == group:
+                return r
+        raise KeyError(f"no serving unit {set(group)}")
+
+    def item_costs(self) -> Dict[int, float]:
+        """The paper's ``cost[]`` array: a package's whole cost is booked
+        on its highest item id (mirroring lines 37-47 where ``d_1`` is
+        zeroed and everything accrues to ``d_2``)."""
+        out: Dict[int, float] = {}
+        for r in self.reports:
+            for d in r.group:
+                out[d] = 0.0
+            out[max(r.group)] = r.total
+        return out
+
+
+def serve_singleton(
+    seq: RequestSequence,
+    item: int,
+    model: CostModel,
+    *,
+    build_schedule: bool = False,
+) -> GroupReport:
+    """Serve one unpacked item with the optimal off-line algorithm."""
+    sub = seq.restrict_to_item(item)
+    res = solve_optimal(sub, model, build_schedule=build_schedule)
+    return GroupReport(
+        group=frozenset((item,)),
+        package_cost=res.cost,
+        single_sided_cost=0.0,
+        num_cooccurrence=len(sub),
+        num_single_sided=0,
+        modes=(),
+        package_schedule=res.schedule,
+    )
+
+
+@dataclass(frozen=True)
+class SingleSidedDecision:
+    """One Observation-2 greedy decision for a single-sided request.
+
+    ``prev_same_time`` / ``prev_any`` carry the cache/transfer sources
+    considered (``None`` when unavailable); consumed by the physical
+    schedule builder (:mod:`repro.core.physical`).
+    """
+
+    item: int
+    server: int
+    time: float
+    mode: str
+    cost: float
+    prev_same_time: Optional[float]
+    prev_any: Tuple[int, float]  # (server, time) of the last node with item
+
+
+def single_sided_decisions(
+    seq: RequestSequence,
+    package: FrozenSet[int],
+    model: CostModel,
+    alpha: float,
+):
+    """Yield the Observation-2 greedy decisions for ``package``'s
+    single-sided requests, in time order.
+
+    The virtual origin node carries every item; package nodes update the
+    per-item source bookkeeping but are not charged here (they belong to
+    the package DP).
+    """
+    mu, lam = model.mu, model.lam
+    ship_cost = package_rate(len(package), alpha) * lam
+    nodes = seq.restrict_to_items(package, mode="any")
+
+    last_any: Dict[int, Tuple[int, float]] = {}
+    last_same: Dict[Tuple[int, int], float] = {}
+    origin = seq.origin
+    for d in package:
+        last_any[d] = (origin, 0.0)
+        last_same[(d, origin)] = 0.0
+
+    for r in nodes:
+        if r.items == package:
+            for d in package:
+                last_any[d] = (r.server, r.time)
+                last_same[(d, r.server)] = r.time
+            continue
+        for d in sorted(r.items):  # strict subset of the package
+            t_p = last_same.get((d, r.server))
+            cache_cost = mu * (r.time - t_p) if t_p is not None else float("inf")
+            prev = last_any[d]
+            transfer_cost = mu * (r.time - prev[1]) + lam
+            best = min(cache_cost, transfer_cost, ship_cost)
+            if best == cache_cost:
+                mode = MODE_CACHE
+            elif best == transfer_cost:
+                mode = MODE_TRANSFER
+            else:
+                mode = MODE_PACKAGE
+            yield SingleSidedDecision(
+                item=d,
+                server=r.server,
+                time=r.time,
+                mode=mode,
+                cost=best,
+                prev_same_time=t_p,
+                prev_any=prev,
+            )
+            last_any[d] = (r.server, r.time)
+            last_same[(d, r.server)] = r.time
+
+
+def serve_package(
+    seq: RequestSequence,
+    package: FrozenSet[int],
+    model: CostModel,
+    alpha: float,
+    *,
+    build_schedule: bool = False,
+) -> GroupReport:
+    """Serve one package per Phase 2 of Algorithm 1.
+
+    Works for packages of any size ``k >= 2`` (the paper's Remarks
+    extension): co-occurrence nodes are requests containing *all* items of
+    the package, served at rate ``alpha * k``; nodes carrying a strict
+    non-empty subset are served greedily per item with the package-ship
+    option costing ``alpha * k * lam``.
+    """
+    k = len(package)
+    if k < 2:
+        raise ValueError("a package needs at least two items")
+    rate = package_rate(k, alpha)
+    mu, lam = model.mu, model.lam
+    ship_cost = rate * lam  # Observation 2's constant (2*alpha*lam for k=2)
+
+    nodes = seq.restrict_to_items(package, mode="any")
+    co_view = seq.restrict_to_items(package, mode="all")
+    # The package is one pseudo-item: project the co-occurrence nodes to a
+    # bare (server, time) trajectory and run the optimal DP at package rate.
+    pseudo = SingleItemView(
+        servers=co_view.servers,
+        times=co_view.times,
+        num_servers=co_view.num_servers,
+        origin=co_view.origin,
+    )
+    dp = solve_optimal(
+        pseudo, model, build_schedule=build_schedule, rate_multiplier=rate
+    )
+
+    # --- greedy pass over partial nodes (Observation 2) ----------------
+    single_cost = 0.0
+    modes: List[Tuple[float, str, float]] = []
+    partial_times = set()
+    for dec in single_sided_decisions(seq, package, model, alpha):
+        single_cost += dec.cost
+        modes.append((dec.time, dec.mode, dec.cost))
+        partial_times.add(dec.time)
+    n_partial = len(partial_times)
+
+    return GroupReport(
+        group=package,
+        package_cost=dp.cost,
+        single_sided_cost=single_cost,
+        num_cooccurrence=len(co_view),
+        num_single_sided=n_partial,
+        modes=tuple(modes),
+        package_schedule=dp.schedule,
+    )
+
+
+def solve_dp_greedy(
+    seq: RequestSequence,
+    model: CostModel,
+    *,
+    theta: float,
+    alpha: float,
+    packing: str = "pairs",
+    max_group_size: int = 3,
+    build_schedules: bool = False,
+    plan: Optional[PackingPlan] = None,
+) -> DPGreedyResult:
+    """Run the full two-phase DP_Greedy algorithm on ``seq``.
+
+    Parameters
+    ----------
+    theta:
+        Correlation threshold of Phase 1 (the paper uses 0.3 in Section VI).
+    alpha:
+        Discount factor of Table II (the paper uses 0.8 in Section VI).
+    packing:
+        ``"pairs"`` for the paper's Algorithm 1; ``"groups"`` enables the
+        multi-item extension of the Remarks (min-linkage groups up to
+        ``max_group_size``).
+    plan:
+        Optional externally-computed packing plan; when given, Phase 1 is
+        skipped and the plan is served as-is (used by the robustness
+        study, which plans on a *predicted* trajectory and serves the
+        true one).  The plan's items must cover exactly ``seq``'s items.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    stats = correlation_stats(seq)
+    if plan is not None:
+        plan_items = {d for p in plan.packages for d in p} | set(plan.singletons)
+        if plan_items != set(seq.items):
+            raise ValueError(
+                "externally supplied plan does not cover the sequence's items"
+            )
+    elif packing == "pairs":
+        plan = greedy_pair_packing(stats, theta)
+    elif packing == "groups":
+        plan = greedy_group_packing(stats, theta, max_group_size)
+    else:
+        raise ValueError(f"unknown packing mode {packing!r}")
+
+    reports: List[GroupReport] = []
+    for pkg in plan.packages:
+        reports.append(
+            serve_package(seq, pkg, model, alpha, build_schedule=build_schedules)
+        )
+    for d in plan.singletons:
+        reports.append(serve_singleton(seq, d, model, build_schedule=build_schedules))
+
+    total = sum(r.total for r in reports)
+    return DPGreedyResult(
+        plan=plan,
+        stats=stats,
+        reports=tuple(reports),
+        total_cost=total,
+        denominator=seq.total_item_requests(),
+        theta=theta,
+        alpha=alpha,
+    )

@@ -1,0 +1,247 @@
+"""On-line DP_Greedy: the paper's off-line assumption, relaxed.
+
+The paper assumes the full spatial-temporal trajectory is known in
+advance (justified by the ~93% predictability of human mobility [5]) and
+leaves the on-line setting to the substrate literature ([6] gives a
+3-competitive single-item policy).  This module closes that gap with an
+on-line variant of the two-phase algorithm that sees requests one at a
+time:
+
+* **Phase 1, on-line:** running co-occurrence counts maintain a Jaccard
+  estimate per pair; once a pair's estimate exceeds ``theta`` after a
+  warm-up of ``min_observations`` requests per item, the pair is packed
+  from that moment on (packing is monotone -- packages never dissolve,
+  and an item joins at most one package, mirroring ``package_flag``).
+* **Phase 2, on-line:** every serving unit runs the deterministic
+  ski-rental policy (:mod:`repro.cache.online`) -- a copy is dropped once
+  its idle caching cost reaches its transfer cost.  A package unit runs
+  it at package rates ``2 alpha mu / 2 alpha lam``.  A single-sided
+  request for a packed item is served by the cheapest currently-feasible
+  option: cache (a live copy of the item or its package on the server),
+  an individual transfer (``lam``), or shipping the package
+  (``2 alpha lam``), the on-line analogue of Observation 2.
+
+The replay returns the same per-unit cost breakdown as the off-line
+algorithm so the two are directly comparable
+(:mod:`repro.experiments.online_study`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..cache.model import CostModel, Request, RequestSequence
+from ..correlation.streaming import StreamingCorrelation
+
+__all__ = ["OnlineDPGreedyResult", "solve_online_dp_greedy"]
+
+
+class _SkiRentalUnit:
+    """Incremental ski-rental copy manager for one item or package.
+
+    Mirrors :func:`repro.cache.online.solve_online_ski_rental`: every copy
+    remembers its birth and last use; a non-primary copy is retired once
+    idle longer than ``lam / mu`` (having paid exactly its re-transfer
+    cost in idle caching); serving a foreign server transfers from the
+    primary copy.  Costs accrue on retire/flush.
+    """
+
+    def __init__(self, origin: int, start: float, mu: float, lam: float) -> None:
+        self.mu = mu
+        self.lam = lam
+        self.threshold = lam / mu if mu > 0 else float("inf")
+        self.copies: Dict[int, Tuple[float, float]] = {origin: (start, start)}
+        self.primary = origin
+        self.cost = 0.0
+
+    def _retire(self, server: int, end: float) -> None:
+        birth, _last = self.copies.pop(server)
+        self.cost += self.mu * max(0.0, end - birth)
+
+    def _expire(self, now: float) -> None:
+        for server in list(self.copies):
+            if server == self.primary:
+                continue
+            _birth, last = self.copies[server]
+            if now - last > self.threshold:
+                self._retire(server, last + self.threshold)
+
+    def holds(self, server: int, now: float) -> bool:
+        """Live copy on ``server`` at time ``now`` (after expiry)?"""
+        info = self.copies.get(server)
+        if info is None:
+            return False
+        _birth, last = info
+        return server == self.primary or now - last <= self.threshold
+
+    def serve(self, server: int, now: float) -> float:
+        """Serve a request at ``(server, now)``; returns the transfer cost
+        incurred now (caching accrues on retirement)."""
+        self._expire(now)
+        paid = 0.0
+        if server in self.copies:
+            birth, _last = self.copies[server]
+            self.copies[server] = (birth, now)
+        else:
+            birth, _last = self.copies[self.primary]
+            self.copies[self.primary] = (birth, now)
+            self.copies[server] = (now, now)
+            self.cost += self.lam
+            paid = self.lam
+        self.primary = server
+        return paid
+
+    def touch(self, server: int, now: float) -> None:
+        """Mark the copy on ``server`` as used at ``now`` so its caching
+        is paid through ``now`` (serving through a held copy keeps it
+        alive -- and billed)."""
+        birth, _last = self.copies[server]
+        self.copies[server] = (birth, now)
+
+    def adopt(self, server: int, now: float) -> None:
+        """Place a fresh copy at ``server`` (package formation)."""
+        self._expire(now)
+        if server not in self.copies:
+            self.copies[server] = (now, now)
+        self.primary = server
+
+    def flush(self) -> float:
+        """Retire every copy at its last use; return the total cost."""
+        for server in list(self.copies):
+            _birth, last = self.copies[server]
+            self._retire(server, last)
+        return self.cost
+
+
+@dataclass(frozen=True)
+class OnlineDPGreedyResult:
+    """Outcome of the on-line replay."""
+
+    total_cost: float
+    denominator: int
+    packages: Tuple[FrozenSet[int], ...]
+    formation_times: Dict[FrozenSet[int], float]
+    per_unit_cost: Dict[FrozenSet[int], float]
+
+    @property
+    def ave_cost(self) -> float:
+        return self.total_cost / self.denominator if self.denominator else 0.0
+
+
+def solve_online_dp_greedy(
+    seq: RequestSequence,
+    model: CostModel,
+    *,
+    theta: float,
+    alpha: float,
+    min_observations: int = 5,
+) -> OnlineDPGreedyResult:
+    """Replay ``seq`` through the on-line two-phase algorithm.
+
+    ``min_observations`` is the warm-up: a pair may pack only once both
+    items have been seen at least that many times (prevents packing on
+    the first coincidental co-occurrence).
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0 <= theta <= 1:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+    mu, lam = model.mu, model.lam
+    pack_rate = 2 * alpha
+
+    stats = StreamingCorrelation(min_observations=min_observations)
+    packed_into: Dict[int, FrozenSet[int]] = {}
+    formation: Dict[FrozenSet[int], float] = {}
+
+    item_units: Dict[int, _SkiRentalUnit] = {}
+    package_units: Dict[FrozenSet[int], _SkiRentalUnit] = {}
+    extra_cost = 0.0  # package-ship charges for single-sided requests
+
+    def item_unit(d: int) -> _SkiRentalUnit:
+        if d not in item_units:
+            item_units[d] = _SkiRentalUnit(seq.origin, 0.0, mu, lam)
+        return item_units[d]
+
+    for req in seq:
+        t, s = req.time, req.server
+
+        # ---- phase 1 (on-line): update statistics, maybe form packages
+        stats.observe(req)
+        items = sorted(req.items)
+        for i, a in enumerate(items):
+            for b in items[i + 1 :]:
+                if (
+                    a not in packed_into
+                    and b not in packed_into
+                    and stats.ready(a, b)
+                ):
+                    if stats.similarity(a, b) > theta:
+                        pair = frozenset((a, b))
+                        packed_into[a] = pair
+                        packed_into[b] = pair
+                        formation[pair] = t
+                        # the package materialises at this request's
+                        # server *after* the request itself is served at
+                        # individual rates (the discount starts with the
+                        # next co-occurrence)
+
+        # ---- phase 2 (on-line): serve ------------------------------
+        served_by_package: set = set()
+        for d in req.items:
+            pair = packed_into.get(d)
+            if pair is not None and pair <= req.items and pair not in served_by_package:
+                if formation.get(pair) == t:
+                    # formation request: serve both items individually
+                    # (paying their caching up to now), then hand over
+                    for member in sorted(pair):
+                        item_unit(member).serve(s, t)
+                    package_units[pair] = _SkiRentalUnit(
+                        s, t, pack_rate * mu, pack_rate * lam
+                    )
+                else:
+                    package_units[pair].serve(s, t)
+                served_by_package.add(pair)
+
+        for d in req.items:
+            pair = packed_into.get(d)
+            if pair is not None and pair <= req.items:
+                continue  # handled as a package above
+            if pair is None:
+                item_unit(d).serve(s, t)
+                continue
+            # single-sided request for a packed item (Observation 2 on-line)
+            unit = item_unit(d)
+            pkg_unit = package_units[pair]
+            if pkg_unit.holds(s, t) or unit.holds(s, t):
+                # a live copy already sits here: cache-serve through a
+                # holder, extending its (billed) lifetime to now
+                if unit.holds(s, t):
+                    unit.serve(s, t)
+                else:
+                    pkg_unit.touch(s, t)
+                continue
+            if pack_rate * lam < lam:
+                extra_cost += pack_rate * lam  # ship the package
+                pkg_unit.adopt(s, t)
+            else:
+                unit.serve(s, t)
+
+    per_unit: Dict[FrozenSet[int], float] = {}
+    total = extra_cost
+    for d, unit in item_units.items():
+        c = unit.flush()
+        per_unit[frozenset((d,))] = c
+        total += c
+    for pair, unit in package_units.items():
+        c = unit.flush()
+        per_unit[pair] = per_unit.get(pair, 0.0) + c
+        total += c
+
+    return OnlineDPGreedyResult(
+        total_cost=total,
+        denominator=seq.total_item_requests(),
+        packages=tuple(sorted(package_units, key=sorted)),
+        formation_times=formation,
+        per_unit_cost=per_unit,
+    )

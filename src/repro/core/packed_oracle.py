@@ -1,0 +1,161 @@
+"""Exact optimum of the *packed* two-item model (tiny instances).
+
+Theorem 1 compares DP_Greedy against ``C*`` -- the optimal cost when the
+pair may be packed -- but the paper never computes ``C*`` (the general
+problem is believed NP-complete) and bounds it via Lemma 1 instead.
+For small instances ``C*`` *is* computable by exhaustive search, which
+makes the paper's central claim directly measurable: this module powers
+the strongest tests in the suite (``LB <= C* <= C_nonpacking`` and the
+empirical ``C_DPG / C*`` ratios).
+
+Model (the charitable reading of Table II, which can only lower ``C*``
+and therefore only make our ratio checks harder):
+
+* state: the pair of server sets holding item 1 / item 2;
+* across a gap of length ``dt`` every surviving copy bills ``mu * dt``,
+  except servers holding *both* items, which bill the package rate
+  ``2 * alpha * mu * dt`` for the co-located pair;
+* at a request time, a missing item may arrive by an individual transfer
+  (``lam``) or both items together by a packed transfer from any server
+  co-hosting them (``2 * alpha * lam``) -- the packed move is also
+  allowed when only one item is requested (pre-positioning the pair);
+* each item must persist (its copy set stays non-empty) until its last
+  request, after which its copies are destroyed -- an item with no future
+  requests may not be kept alive just to freeload on the co-location
+  discount (which would be cheaper than a single item whenever
+  ``2 * alpha < 1``).
+
+Complexity is ``O(n * 16^m)``-ish; the solver refuses instances beyond
+``MAX_SERVERS`` / ``MAX_REQUESTS``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..cache.model import CostModel, RequestSequence
+
+__all__ = ["packed_pair_oracle", "MAX_SERVERS", "MAX_REQUESTS"]
+
+MAX_SERVERS = 4
+MAX_REQUESTS = 8
+
+State = Tuple[FrozenSet[int], FrozenSet[int]]
+
+
+def _nonempty_subsets(members: FrozenSet[int]) -> List[FrozenSet[int]]:
+    out: List[FrozenSet[int]] = []
+    items = sorted(members)
+    for r in range(1, len(items) + 1):
+        out.extend(frozenset(c) for c in itertools.combinations(items, r))
+    return out
+
+
+def packed_pair_oracle(
+    seq: RequestSequence,
+    model: CostModel,
+    alpha: float,
+    items: Tuple[int, int] = (1, 2),
+) -> float:
+    """Exact minimum cost of serving ``seq``'s two-item workload when the
+    pair ``items`` may be packed (discount ``alpha``).
+
+    ``seq`` must only contain requests touching the two items.  Requests
+    carrying both items are served as a pair at the request's server;
+    single-item requests need only their own item present.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    d1, d2 = items
+    if seq.num_servers > MAX_SERVERS:
+        raise ValueError(f"packed oracle limited to {MAX_SERVERS} servers")
+    if len(seq) > MAX_REQUESTS:
+        raise ValueError(f"packed oracle limited to {MAX_REQUESTS} requests")
+    if any(not r.items <= {d1, d2} for r in seq):
+        raise ValueError("sequence touches items outside the pair")
+    if len(seq) and seq.times[0] <= 0:
+        raise ValueError("request times must be strictly positive")
+
+    mu, lam = model.mu, model.lam
+    pair_mu = 2 * alpha * mu  # per time unit for a co-located pair
+    pack_lam = 2 * alpha * lam
+
+    # an item may die once it has no future requests
+    last_needed = {d1: -1, d2: -1}
+    for idx, r in enumerate(seq):
+        for d in r.items:
+            last_needed[d] = idx
+
+    origin = frozenset((seq.origin,))
+    states: Dict[State, float] = {(origin, origin): 0.0}
+    prev_t = 0.0
+    EMPTY: FrozenSet[int] = frozenset()
+
+    def relax(d: Dict[State, float], s: State, c: float) -> None:
+        best = d.get(s)
+        if best is None or c < best:
+            d[s] = c
+
+    for idx, req in enumerate(seq):
+        dt = req.time - prev_t
+        # ---- survive the gap: choose kept copies per item -------------
+        survived: Dict[State, float] = {}
+        for (c1, c2), cost in states.items():
+            opts1 = _nonempty_subsets(c1)
+            if idx > last_needed[d1] or not c1:
+                opts1 = [EMPTY]  # d1 is done (or already dead): drop it
+            opts2 = _nonempty_subsets(c2)
+            if idx > last_needed[d2] or not c2:
+                opts2 = [EMPTY]
+            for k1 in opts1:
+                for k2 in opts2:
+                    both = len(k1 & k2)
+                    only = (len(k1) - both) + (len(k2) - both)
+                    gap_cost = dt * (mu * only + pair_mu * both)
+                    relax(survived, (k1, k2), cost + gap_cost)
+
+        # ---- serve the request ----------------------------------------
+        s_i = req.server
+        need1 = d1 in req.items
+        need2 = d2 in req.items
+        nxt: Dict[State, float] = {}
+        for (c1, c2), cost in survived.items():
+            # option A: individual transfers for whatever is missing
+            extra = 0.0
+            n1, n2 = c1, c2
+            if need1 and s_i not in c1:
+                extra += lam
+                n1 = c1 | {s_i}
+            if need2 and s_i not in c2:
+                extra += lam
+                n2 = c2 | {s_i}
+            relax(nxt, (n1, n2), cost + extra)
+
+            # option B: one packed transfer from any co-located source
+            if c1 & c2 and (s_i not in c1 or s_i not in c2):
+                relax(
+                    nxt,
+                    (c1 | {s_i}, c2 | {s_i}),
+                    cost + pack_lam,
+                )
+            # option C: consolidate (one individual move) then pack --
+            # cheaper than two individual transfers when alpha < 0.5
+            if c1 and c2 and not (c1 & c2):
+                for y in c2:  # bring d1 to a d2 holder, then ship the pair
+                    relax(
+                        nxt,
+                        (c1 | {y, s_i}, c2 | {s_i}),
+                        cost + lam + pack_lam,
+                    )
+                for x in c1:  # or bring d2 to a d1 holder
+                    relax(
+                        nxt,
+                        (c1 | {s_i}, c2 | {x, s_i}),
+                        cost + lam + pack_lam,
+                    )
+            # (already fully present -> option A above added zero extra)
+        states = nxt
+        prev_t = req.time
+
+    return min(states.values()) if states else 0.0

@@ -1,0 +1,29 @@
+"""Phase-1 correlation analysis: Jaccard similarity and package selection."""
+
+from .jaccard import (
+    CorrelationStats,
+    correlation_stats,
+    jaccard_similarity,
+    pair_similarities,
+)
+from .packing import PackingPlan, greedy_group_packing, greedy_pair_packing
+from .streaming import StreamingCorrelation
+from .windowed import (
+    greedy_pair_packing_from_dict,
+    windowed_jaccard,
+    windowed_pair_similarities,
+)
+
+__all__ = [
+    "CorrelationStats",
+    "correlation_stats",
+    "jaccard_similarity",
+    "pair_similarities",
+    "PackingPlan",
+    "greedy_pair_packing",
+    "greedy_group_packing",
+    "StreamingCorrelation",
+    "windowed_jaccard",
+    "windowed_pair_similarities",
+    "greedy_pair_packing_from_dict",
+]

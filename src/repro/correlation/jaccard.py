@@ -1,0 +1,128 @@
+"""Phase 1 of DP_Greedy: correlation analysis between data items.
+
+Implements Eq. (4) and Eq. (5) of the paper: the symmetric correlation
+matrix ``A(i, j)`` populated with the *Jaccard similarity*
+
+    ``J(d_i, d_j) = |(d_i, d_j)| / (|d_i| + |d_j| - |(d_i, d_j)|)``
+
+where ``|(d_i, d_j)|`` counts the requests in which both items co-exist
+and ``|d_i|`` counts the requests containing ``d_i``.  The paper prefers
+Jaccard over raw co-occurrence because DP_Greedy should kick in when both
+the *frequency* and the *overlap ratio* of a pair are high (Fig. 10).
+
+The heavy lifting is a single vectorised pass: the sequence is encoded as
+a boolean incidence matrix ``B`` (requests x items) and the co-occurrence
+counts are ``B^T B``, per the hpc-parallel guidance of preferring one
+matrix product over nested Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..cache.model import RequestSequence
+
+__all__ = [
+    "CorrelationStats",
+    "correlation_stats",
+    "jaccard_similarity",
+    "pair_similarities",
+]
+
+
+@dataclass(frozen=True)
+class CorrelationStats:
+    """Correlation statistics of one request sequence.
+
+    Attributes
+    ----------
+    items:
+        Sorted tuple of item identifiers; row/column order of the matrices.
+    counts:
+        ``|d_i|`` per item (same order as ``items``).
+    cooccurrence:
+        Symmetric integer matrix of ``|(d_i, d_j)|``; the diagonal holds
+        ``|d_i|``.
+    jaccard:
+        Symmetric float matrix ``A(i, j)`` of Eq. (4): Jaccard similarity
+        off the diagonal, ``1.0`` on the diagonal.
+    """
+
+    items: Tuple[int, ...]
+    counts: np.ndarray
+    cooccurrence: np.ndarray
+    jaccard: np.ndarray
+
+    def index_of(self, item: int) -> int:
+        return self.items.index(item)
+
+    def similarity(self, d_i: int, d_j: int) -> float:
+        """``J(d_i, d_j)`` by item identifier."""
+        return float(self.jaccard[self.index_of(d_i), self.index_of(d_j)])
+
+    def frequency(self, d_i: int, d_j: int) -> int:
+        """``|(d_i, d_j)|`` by item identifier (Fig. 10's frequency)."""
+        return int(self.cooccurrence[self.index_of(d_i), self.index_of(d_j)])
+
+    def pairs_by_similarity(self) -> List[Tuple[float, int, int]]:
+        """All unordered pairs as ``(J, d_i, d_j)`` sorted by descending J.
+
+        Ties break on the item identifiers so the ordering -- and hence
+        Phase 1's packing -- is deterministic.
+        """
+        out: List[Tuple[float, int, int]] = []
+        k = len(self.items)
+        for a in range(k):
+            for b in range(a + 1, k):
+                out.append((float(self.jaccard[a, b]), self.items[a], self.items[b]))
+        out.sort(key=lambda t: (-t[0], t[1], t[2]))
+        return out
+
+
+def correlation_stats(seq: RequestSequence) -> CorrelationStats:
+    """Compute all pairwise correlation statistics in one vectorised pass."""
+    items = tuple(sorted(seq.items))
+    k = len(items)
+    idx = {d: a for a, d in enumerate(items)}
+    n = len(seq)
+
+    incidence = np.zeros((n, k), dtype=np.int64)
+    for row, r in enumerate(seq):
+        for d in r.items:
+            incidence[row, idx[d]] = 1
+
+    co = incidence.T @ incidence  # co[a, b] = |(d_a, d_b)|, diag = |d_a|
+    counts = np.diag(co).copy()
+
+    union = counts[:, None] + counts[None, :] - co
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jac = np.where(union > 0, co / np.maximum(union, 1), 0.0)
+    np.fill_diagonal(jac, 1.0)
+
+    return CorrelationStats(
+        items=items, counts=counts, cooccurrence=co, jaccard=jac
+    )
+
+
+def jaccard_similarity(seq: RequestSequence, d_i: int, d_j: int) -> float:
+    """Eq. (5) for one pair, computed directly from the sequence."""
+    if d_i == d_j:
+        return 1.0
+    co = seq.cooccurrence(d_i, d_j)
+    counts = seq.item_counts()
+    union = counts.get(d_i, 0) + counts.get(d_j, 0) - co
+    return co / union if union > 0 else 0.0
+
+
+def pair_similarities(seq: RequestSequence) -> Dict[Tuple[int, int], float]:
+    """The paper's ``Jaccard`` dictionary: ``{(d_i, d_j): J}`` for i < j."""
+    stats = correlation_stats(seq)
+    out: Dict[Tuple[int, int], float] = {}
+    k = len(stats.items)
+    for a in range(k):
+        for b in range(a + 1, k):
+            out[(stats.items[a], stats.items[b])] = float(stats.jaccard[a, b])
+    return out

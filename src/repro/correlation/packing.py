@@ -1,0 +1,130 @@
+"""Package selection (Algorithm 1, lines 7-27).
+
+Given the Jaccard dictionary of Phase 1, the paper packs items greedily:
+pairs are visited in order of decreasing similarity and a pair is packed
+when its similarity exceeds the threshold ``theta`` and neither item is
+already engaged in a package (``package_flag``).  Items left unmatched are
+served individually.
+
+:func:`greedy_pair_packing` reproduces that procedure exactly;
+:func:`greedy_group_packing` is the natural extension to packages of more
+than two items mentioned in the paper's Remarks (each group is grown
+greedily while every new member keeps min-linkage similarity above
+``theta``), disabled by default in DP_Greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .jaccard import CorrelationStats
+
+__all__ = ["PackingPlan", "greedy_pair_packing", "greedy_group_packing"]
+
+
+@dataclass(frozen=True)
+class PackingPlan:
+    """The output of Phase 1: the paper's ``package_list``.
+
+    ``packages`` holds the multi-item groups (size >= 2) in selection
+    order; ``singletons`` the items served individually.  ``similarity``
+    records the Jaccard value that justified each package (for groups of
+    more than two items, the minimum pairwise similarity).
+    """
+
+    packages: Tuple[FrozenSet[int], ...]
+    singletons: Tuple[int, ...]
+    similarity: Dict[FrozenSet[int], float]
+
+    @property
+    def groups(self) -> Tuple[FrozenSet[int], ...]:
+        """All serving units: packages first, then singleton groups."""
+        return self.packages + tuple(frozenset((d,)) for d in self.singletons)
+
+    def package_of(self, item: int) -> FrozenSet[int]:
+        for p in self.packages:
+            if item in p:
+                return p
+        return frozenset((item,))
+
+    def is_packed(self, item: int) -> bool:
+        return any(item in p for p in self.packages)
+
+
+def greedy_pair_packing(stats: CorrelationStats, theta: float) -> PackingPlan:
+    """Algorithm 1 Phase 1: greedy disjoint pair matching above ``theta``.
+
+    Pairs are sorted by descending Jaccard similarity (ties broken on item
+    identifiers for determinism, matching the stable sort of line 14) and
+    packed when ``J > theta`` with both items still unflagged.
+    """
+    if not 0 <= theta <= 1:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+    flag: Dict[int, bool] = {d: False for d in stats.items}
+    packages: List[FrozenSet[int]] = []
+    similarity: Dict[FrozenSet[int], float] = {}
+
+    for j, d_i, d_j in stats.pairs_by_similarity():
+        if j > theta and not flag[d_i] and not flag[d_j]:
+            pkg = frozenset((d_i, d_j))
+            packages.append(pkg)
+            similarity[pkg] = j
+            flag[d_i] = flag[d_j] = True
+
+    singletons = tuple(d for d in stats.items if not flag[d])
+    return PackingPlan(tuple(packages), singletons, similarity)
+
+
+def greedy_group_packing(
+    stats: CorrelationStats, theta: float, max_size: int = 3
+) -> PackingPlan:
+    """Multi-item extension (paper Remarks): min-linkage greedy grouping.
+
+    Visits pairs in descending similarity.  A pair with both items free
+    opens a group; a pair joining a free item to an existing group is
+    accepted when the group is below ``max_size`` and the newcomer's
+    similarity to *every* current member exceeds ``theta`` (min linkage,
+    the conservative choice: the package discount of Table II applies to
+    the whole group, so weakly-linked members dilute the benefit).
+    """
+    if max_size < 2:
+        raise ValueError("max_size must be at least 2")
+    if not 0 <= theta <= 1:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+
+    group_of: Dict[int, int] = {}
+    groups: List[List[int]] = []
+
+    def sim(a: int, b: int) -> float:
+        return stats.similarity(a, b)
+
+    for j, d_i, d_j in stats.pairs_by_similarity():
+        if j <= theta:
+            break
+        gi, gj = group_of.get(d_i), group_of.get(d_j)
+        if gi is None and gj is None:
+            group_of[d_i] = group_of[d_j] = len(groups)
+            groups.append([d_i, d_j])
+        elif gi is not None and gj is None:
+            g = groups[gi]
+            if len(g) < max_size and all(sim(d_j, other) > theta for other in g):
+                g.append(d_j)
+                group_of[d_j] = gi
+        elif gj is not None and gi is None:
+            g = groups[gj]
+            if len(g) < max_size and all(sim(d_i, other) > theta for other in g):
+                g.append(d_i)
+                group_of[d_i] = gj
+        # both already grouped: no merge (keeps the discount predictable)
+
+    packages: List[FrozenSet[int]] = []
+    similarity: Dict[FrozenSet[int], float] = {}
+    for g in groups:
+        pkg = frozenset(g)
+        packages.append(pkg)
+        similarity[pkg] = min(
+            sim(a, b) for ai, a in enumerate(g) for b in g[ai + 1 :]
+        )
+    singletons = tuple(d for d in stats.items if d not in group_of)
+    return PackingPlan(tuple(packages), singletons, similarity)

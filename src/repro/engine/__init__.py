@@ -1,0 +1,6 @@
+"""Efficient implementation structures of Section V (pre-scan + service pass)."""
+
+from .prescan import PreScan
+from .service import greedy_service_pass, package_service_pass
+
+__all__ = ["PreScan", "greedy_service_pass", "package_service_pass"]

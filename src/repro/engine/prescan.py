@@ -1,0 +1,149 @@
+"""Efficient implementation data structures (paper Section V-A).
+
+The paper implements Phase 2 with a two-pass design: a *pre-scan pass*
+builds index structures in ``O(mn)`` time and space, and the *service
+pass* then identifies every candidate cache interval in ``O(1)`` per
+server.  This module reproduces those structures faithfully:
+
+* ``Q_j`` -- one doubly linked list per server threading the requests made
+  on that server (realised as ``ll_prev`` / ``ll_next`` index arrays plus
+  per-server head/tail pointers; a dummy boundary is represented by -1);
+* ``A[n]`` -- the global array indexing requests along time (the request
+  order itself, kept as the array of request records);
+* ``pLast[m]`` -- the rolling most-recent-request-per-server pointer
+  array, snapshot into each request's own ``m``-size pointer array
+  (``recent[i, :]``) as the request is processed.
+
+With these, ``p(i)`` (Definition 1: the most recent request on the same
+server) and the set of cache intervals covering a request (Fig. 8) are
+O(1)/O(m) lookups.  :class:`PreScan` accepts multi-item sequences; the
+per-item solvers use it through single-item projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cache.model import RequestSequence, SingleItemView
+
+__all__ = ["PreScan"]
+
+
+class PreScan:
+    """Pre-scan index over a request trajectory.
+
+    Parameters
+    ----------
+    view:
+        A :class:`RequestSequence` or :class:`SingleItemView`; only the
+        ``(server, time)`` trajectory is indexed.
+
+    Attributes
+    ----------
+    recent:
+        ``(n, m)`` int32 array; ``recent[i, j]`` is the index of the most
+        recent request on server ``j`` strictly before request ``i``
+        (``-1`` when there is none).  This is the paper's per-request
+        ``m``-size pointer array fed from ``pLast``.
+    prev_same:
+        ``p(i)`` of Definition 1 as an index array (``-1`` when none).
+    next_same:
+        Forward counterpart used by the optimal DP.
+    """
+
+    def __init__(self, view: "RequestSequence | SingleItemView") -> None:
+        if isinstance(view, RequestSequence):
+            servers: Sequence[int] = view.servers
+            times: Sequence[float] = view.times
+            m = view.num_servers
+            origin = view.origin
+        else:
+            servers, times, m, origin = (
+                view.servers,
+                view.times,
+                view.num_servers,
+                view.origin,
+            )
+        n = len(servers)
+        self.n = n
+        self.m = m
+        self.origin = origin
+        self.servers = np.asarray(servers, dtype=np.int32)
+        self.times = np.asarray(times, dtype=np.float64)
+
+        # pLast rolling pointer array, snapshot per request -> recent[i, :]
+        recent = np.full((n, m), -1, dtype=np.int32)
+        p_last = np.full(m, -1, dtype=np.int32)
+        ll_prev = np.full(n, -1, dtype=np.int32)
+        ll_next = np.full(n, -1, dtype=np.int32)
+        q_head = np.full(m, -1, dtype=np.int32)
+        q_tail = np.full(m, -1, dtype=np.int32)
+
+        for i, s in enumerate(self.servers):
+            recent[i, :] = p_last
+            # append to the doubly linked list Q_s
+            tail = q_tail[s]
+            ll_prev[i] = tail
+            if tail >= 0:
+                ll_next[tail] = i
+            else:
+                q_head[s] = i
+            q_tail[s] = i
+            p_last[s] = i
+
+        self.recent = recent
+        self._p_last_final = p_last
+        self.ll_prev = ll_prev
+        self.ll_next = ll_next
+        self.q_head = q_head
+        self.q_tail = q_tail
+        self.prev_same = (
+            recent[np.arange(n), self.servers] if n else np.empty(0, np.int32)
+        )
+        # next_same via a reversed sweep
+        next_same = np.full(n, -1, dtype=np.int32)
+        last_seen = np.full(m, -1, dtype=np.int32)
+        for i in range(n - 1, -1, -1):
+            s = self.servers[i]
+            next_same[i] = last_seen[s]
+            last_seen[s] = i
+        self.next_same = next_same
+
+    # ------------------------------------------------------------------
+    def p_of(self, i: int) -> Optional[int]:
+        """``p(i)``: index of the most recent same-server request, or None."""
+        p = int(self.prev_same[i])
+        return p if p >= 0 else None
+
+    def requests_on_server(self, server: int) -> List[int]:
+        """Walk ``Q_server`` head-to-tail (validates the linked list)."""
+        out: List[int] = []
+        cur = int(self.q_head[server])
+        while cur >= 0:
+            out.append(cur)
+            cur = int(self.ll_next[cur])
+        return out
+
+    def intervals_covering(self, i: int) -> List[Tuple[int, float, float]]:
+        """Candidate cache intervals ``[t_recent_j, t_i]`` per server.
+
+        Reproduces the Fig. 8 query: for request ``i``, each server ``j``
+        with an earlier request contributes the interval from that
+        request's time up to ``t_i``.  Servers never visited before
+        ``t_i`` contribute nothing (the empty sets in the figure).
+        """
+        t_i = float(self.times[i])
+        out: List[Tuple[int, float, float]] = []
+        for j in range(self.m):
+            r = int(self.recent[i, j])
+            if r >= 0:
+                out.append((j, float(self.times[r]), t_i))
+        return out
+
+    def most_recent_before(self, i: int, server: int) -> Optional[int]:
+        """``pLast`` lookup: latest request on ``server`` strictly before ``i``."""
+        r = int(self.recent[i, server])
+        return r if r >= 0 else None

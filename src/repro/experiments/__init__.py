@@ -1,0 +1,91 @@
+"""Experiment harnesses: paper figures, the running example, and extensions.
+
+Paper artefacts
+===============
+========== ==========================================================
+run_fig09   Fig. 9  -- spatial request distribution (synthetic trace)
+run_fig10   Fig. 10 -- pair frequency & Jaccard spectrum
+run_fig11   Fig. 11 -- ave_cost vs Jaccard similarity
+run_fig12   Fig. 12 -- ave_cost vs rho = lam/mu (lam + mu = 6)
+run_fig13   Fig. 13 -- ave_cost vs discount factor alpha
+run_running_example  Section V.C worked example (Figs. 2/7/8)
+run_ratio_study      Theorem 1 -- 2/alpha, vs Lemma-1 LB and exact C*
+run_scaling          Section V-B -- O(mn^2)/O(mn) scaling
+run_trace_study      Section VI end-to-end on one full trace
+========== ==========================================================
+
+Extensions and ablations
+========================
+========== ==========================================================
+run_online_study     on-line DP_Greedy vs the off-line algorithm
+run_theta_ablation   the packing threshold's U-shape
+run_option_ablation  Observation-2 serving options
+run_packing_ablation pairs vs groups vs forced vs none
+run_robustness       prediction error -> plan stability and cost
+run_capacity_study   classical caches under cost-oriented billing
+run_ledger_gap       Observation 1's hidden keep-alive cost
+run_hetero_study     the price of assuming homogeneity
+run_report           run everything, write REPORT.md
+========== ==========================================================
+"""
+
+from .ablation import run_option_ablation, run_packing_ablation, run_theta_ablation
+from .base import ExperimentResult
+from .capacity_study import run_capacity_study
+from .fig09 import run_fig09
+from .hetero_study import run_hetero_study
+from .fig10 import run_fig10
+from .fig11 import run_fig11
+from .fig12 import run_fig12
+from .fig13 import run_fig13
+from .ledger_gap import run_ledger_gap
+from .online_study import run_online_study
+from .ratio_study import run_ratio_study
+from .report import run_report
+from .robustness import run_robustness
+from .running_example import run_running_example, running_example_sequence
+from .scaling import run_scaling
+from .trace_study import run_trace_study
+
+__all__ = [
+    "ExperimentResult",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_online_study",
+    "run_ledger_gap",
+    "run_hetero_study",
+    "run_report",
+    "run_theta_ablation",
+    "run_option_ablation",
+    "run_packing_ablation",
+    "run_running_example",
+    "running_example_sequence",
+    "run_ratio_study",
+    "run_robustness",
+    "run_capacity_study",
+    "run_scaling",
+    "run_trace_study",
+]
+
+ALL_EXPERIMENTS = {
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "online_study": run_online_study,
+    "ablation_theta": run_theta_ablation,
+    "ablation_options": run_option_ablation,
+    "ablation_packing": run_packing_ablation,
+    "running_example": run_running_example,
+    "ratio_study": run_ratio_study,
+    "robustness": run_robustness,
+    "capacity_study": run_capacity_study,
+    "scaling": run_scaling,
+    "trace_study": run_trace_study,
+    "ledger_gap": run_ledger_gap,
+    "hetero_study": run_hetero_study,
+}

@@ -1,0 +1,92 @@
+"""Common infrastructure for the per-figure experiment harnesses.
+
+Every harness returns an :class:`ExperimentResult`: a set of tabular rows
+plus named ``(x, y)`` series, with helpers to render the result as a text
+report (table + ASCII chart) and to persist CSV artefacts.  Benchmarks
+and the CLI both consume this interface, so the code that regenerates a
+paper figure exists exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..viz import ascii_line_plot, format_table, write_csv
+
+__all__ = ["ExperimentResult"]
+
+Row = Dict[str, Union[str, float, int]]
+Series = Dict[str, List[Tuple[float, float]]]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment harness.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from the DESIGN.md experiment index (e.g. ``"fig12"``).
+    title:
+        Human-readable description (matches the paper's caption).
+    rows:
+        Tabular results, one dict per row.
+    series:
+        Named ``(x, y)`` curves for the ASCII/CSV plots.
+    params:
+        The parameter values the harness ran with.
+    notes:
+        Free-form observations (e.g. where the crossover landed).
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Row] = field(default_factory=list)
+    series: Series = field(default_factory=dict)
+    params: Dict[str, Union[str, float, int]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    xlabel: str = "x"
+    ylabel: str = "y"
+
+    def table(self) -> str:
+        return format_table(self.rows)
+
+    def chart(self, *, width: int = 64, height: int = 16) -> str:
+        if not self.series:
+            return ""
+        return ascii_line_plot(
+            self.series,
+            width=width,
+            height=height,
+            title=self.title,
+            xlabel=self.xlabel,
+            ylabel=self.ylabel,
+        )
+
+    def report(self) -> str:
+        """Full text report: parameters, table, chart, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.params:
+            parts.append(
+                "params: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            )
+        if self.rows:
+            parts.append(self.table())
+        chart = self.chart()
+        if chart:
+            parts.append(chart)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+    def save(self, out_dir: Union[str, Path]) -> Path:
+        """Persist CSV rows and the text report under ``out_dir``."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        if self.rows:
+            write_csv(out / f"{self.experiment_id}.csv", self.rows)
+        (out / f"{self.experiment_id}.txt").write_text(self.report() + "\n")
+        return out

@@ -1,0 +1,96 @@
+"""Extension experiment -- cost-oriented vs capacity-oriented caching.
+
+Section II's core distinction, measured: classical eviction policies
+(LRU / LFU / FIFO / GreedyDual [2]) maximise hit ratio under a capacity
+budget, but under the cloud's cost-oriented billing (``mu`` per resident
+item-time, ``lam`` per fetch) they pay for residency they never needed.
+The cost-oriented optimum (the per-item optimal DP, no capacity limit)
+and DP_Greedy are run on the same workload for contrast.
+
+Expected shape: hit ratio *improves* with capacity while monetary cost
+*worsens* (bigger caches = more idle residency billed), and even the
+best classical policy is a large factor above the cost-oriented optimum
+-- precisely why the paper reformulates cloud caching around cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cache.capacity import POLICIES, CapacityCacheSimulator
+from ..cache.model import CostModel
+from ..core.baselines import solve_optimal_nonpacking
+from ..core.dp_greedy import solve_dp_greedy
+from ..trace.workload import zipf_item_workload
+from .base import ExperimentResult
+
+__all__ = ["run_capacity_study"]
+
+
+def run_capacity_study(
+    *,
+    capacities: Sequence[int] = (1, 2, 4, 8),
+    n_requests: int = 600,
+    num_servers: int = 20,
+    num_items: int = 12,
+    theta: float = 0.3,
+    alpha: float = 0.8,
+    model: Optional[CostModel] = None,
+    seed: int = 2019,
+) -> ExperimentResult:
+    """Sweep cache capacity; contrast hit ratio against monetary cost."""
+    model = model or CostModel(mu=1.0, lam=4.0)
+    seq = zipf_item_workload(
+        n_requests, num_servers, num_items, seed=seed, cooccurrence=0.3
+    )
+
+    result = ExperimentResult(
+        experiment_id="capacity_study",
+        title="Extension -- capacity-oriented policies under cost-oriented billing",
+        params={
+            "n_requests": n_requests,
+            "num_servers": num_servers,
+            "num_items": num_items,
+            "mu": model.mu,
+            "lam": model.lam,
+            "seed": seed,
+        },
+        xlabel="capacity (items per server)",
+        ylabel="monetary cost",
+    )
+
+    opt = solve_optimal_nonpacking(seq, model)
+    dpg = solve_dp_greedy(seq, model, theta=theta, alpha=alpha)
+    result.params["cost_oriented_optimal"] = round(opt.total_cost, 2)
+    result.params["dp_greedy"] = round(dpg.total_cost, 2)
+
+    for policy in POLICIES:
+        curve = []
+        for cap in capacities:
+            sim = CapacityCacheSimulator(num_servers, cap, policy, model)
+            rep = sim.replay(seq)
+            curve.append((float(cap), rep.monetary_cost))
+            result.rows.append(
+                {
+                    "policy": policy,
+                    "capacity": cap,
+                    "hit_ratio": round(rep.hit_ratio, 4),
+                    "monetary_cost": round(rep.monetary_cost, 2),
+                    "vs_cost_optimal": round(
+                        rep.monetary_cost / opt.total_cost, 3
+                    ),
+                }
+            )
+        result.series[policy] = curve
+
+    best_row = min(result.rows, key=lambda r: r["monetary_cost"])
+    result.params["best_classical_factor"] = best_row["vs_cost_optimal"]
+    result.notes.append(
+        f"cost-oriented optimum {opt.total_cost:.1f} (DP_Greedy "
+        f"{dpg.total_cost:.1f}); the best classical configuration "
+        f"({best_row['policy']}, capacity {best_row['capacity']}) still pays "
+        f"{best_row['vs_cost_optimal']:.2f}x the cost-oriented optimum while "
+        "its hit ratio keeps rising with capacity -- hit ratio and monetary "
+        "cost pull in opposite directions"
+    )
+    return result

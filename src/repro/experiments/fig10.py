@@ -1,0 +1,78 @@
+"""Experiment E2 -- Fig. 10: pair frequencies and Jaccard similarities.
+
+Fig. 10 lists, for the frequent item pairs of the taxi dataset, both the
+co-occurrence frequency ``|(d_i, d_j)|`` and the Jaccard similarity
+``J(d_i, d_j)``.  This harness computes the full pair spectrum of the
+synthetic trace; the reproduced property is the spread of similarities
+(roughly 0.05-0.65) that drives the Fig. 11/13 studies, with partner
+pairs (the injected correlations) standing out above the cross-pair
+noise floor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..correlation import correlation_stats
+from ..trace.mobility import TaxiTrace, TaxiTraceConfig, generate_taxi_trace
+from .base import ExperimentResult
+
+__all__ = ["run_fig10"]
+
+
+def run_fig10(
+    config: Optional[TaxiTraceConfig] = None,
+    *,
+    trace: Optional[TaxiTrace] = None,
+    top: int = 15,
+) -> ExperimentResult:
+    """Report the pair frequency/Jaccard spectrum of a trace."""
+    if trace is None:
+        trace = generate_taxi_trace(config or TaxiTraceConfig())
+    stats = correlation_stats(trace.sequence)
+
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Fig. 10 -- frequency and Jaccard similarity of item pairs",
+        params={
+            "num_items": len(stats.items),
+            "requests": len(trace.sequence),
+            "seed": trace.config.seed,
+        },
+        xlabel="pair rank",
+        ylabel="Jaccard",
+    )
+
+    ranked = stats.pairs_by_similarity()
+    for rank, (j, d_i, d_j) in enumerate(ranked[:top], start=1):
+        freq = stats.frequency(d_i, d_j)
+        is_partner = (d_i // 2 == d_j // 2) and abs(d_i - d_j) == 1
+        result.rows.append(
+            {
+                "rank": rank,
+                "pair": f"(d{d_i}, d{d_j})",
+                "frequency": freq,
+                "jaccard": round(j, 4),
+                "injected_partner_pair": int(is_partner),
+            }
+        )
+    result.series["jaccard by rank"] = [
+        (float(rank), float(j)) for rank, (j, *_ids) in enumerate(ranked[:top], 1)
+    ]
+
+    partner_js = [
+        j
+        for j, d_i, d_j in ranked
+        if (d_i // 2 == d_j // 2) and abs(d_i - d_j) == 1
+    ]
+    other_js = [
+        j
+        for j, d_i, d_j in ranked
+        if not ((d_i // 2 == d_j // 2) and abs(d_i - d_j) == 1)
+    ]
+    if partner_js and other_js:
+        result.notes.append(
+            f"partner pairs J in [{min(partner_js):.3f}, {max(partner_js):.3f}]; "
+            f"cross-pair noise floor max {max(other_js):.3f}"
+        )
+    return result

@@ -1,0 +1,151 @@
+"""Extension experiment -- robustness of DP_Greedy to prediction error.
+
+The paper assumes a perfectly known trajectory, citing the ~93%
+predictability of human mobility [5].  This study quantifies what the
+remaining ~7% (and worse) costs:
+
+1. a Markov next-zone predictor is trained on the first half of a
+   synthetic taxi trace and scored on the second half, giving a
+   *realistic* misprediction rate for this workload class;
+2. across an error-rate grid, DP_Greedy **plans on a perturbed
+   trajectory** (Phase 1's packing decisions come from corrupted data)
+   and **serves the true one**; the cost penalty against the
+   fully-informed run and the packing-plan agreement are reported.
+
+Expected shape: spatial/temporal misprediction is harmless (Phase 1
+rests on co-occurrence statistics, not locations), so the penalty curve
+is flat until the *co-occurrence* error channel deflates the observed
+Jaccard below ``theta`` -- at which point the plan stops packing and the
+cost steps up to the non-packing level.  At the paper's ~7% error the
+decision is untouched; the cliff sits where
+``J_true * (1 - eps) ~= theta``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cache.model import CostModel
+from ..core.dp_greedy import solve_dp_greedy
+from ..trace.mobility import TaxiTraceConfig, generate_taxi_trace
+from ..trace.predictor import MarkovZonePredictor, perturb_sequence
+from ..trace.workload import correlated_pair_sequence
+from .base import ExperimentResult
+
+__all__ = ["run_robustness"]
+
+
+def _pair_jaccard(seq) -> float:
+    """Observed Jaccard of the (1, 2) pair in a perturbed trajectory."""
+    from ..correlation.jaccard import jaccard_similarity
+
+    if not {1, 2} <= set(seq.items):
+        return 0.0
+    return jaccard_similarity(seq, 1, 2)
+
+
+def run_robustness(
+    *,
+    error_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.6, 0.7),
+    jaccard: float = 0.6,
+    n_requests: int = 400,
+    num_servers: int = 50,
+    theta: float = 0.3,
+    alpha: float = 0.8,
+    model: Optional[CostModel] = None,
+    seed: int = 2019,
+    time_jitter: float = 0.2,
+) -> ExperimentResult:
+    """Plan on corrupted trajectories, serve the true one."""
+    model = model or CostModel(mu=3.0, lam=3.0)
+
+    result = ExperimentResult(
+        experiment_id="robustness",
+        title="Extension -- DP_Greedy under prediction error",
+        params={
+            "jaccard": jaccard,
+            "n_requests": n_requests,
+            "num_servers": num_servers,
+            "theta": theta,
+            "alpha": alpha,
+            "seed": seed,
+            "time_jitter": time_jitter,
+        },
+        xlabel="server misprediction rate",
+        ylabel="ave_cost",
+    )
+
+    # --- 1. what error rate is realistic? -----------------------------
+    trace = generate_taxi_trace(
+        TaxiTraceConfig(num_taxis=10, duration=600.0, request_rate=0.5, seed=seed)
+    )
+    half = len(trace.sequence) // 2
+    train = trace.sequence.requests[:half]
+    test = trace.sequence.requests[half:]
+    from ..cache.model import RequestSequence
+
+    predictor = MarkovZonePredictor(trace.grid.num_zones).fit(
+        RequestSequence(train, trace.grid.num_zones, trace.sequence.origin)
+    )
+    acc = predictor.accuracy(
+        RequestSequence(test, trace.grid.num_zones, trace.sequence.origin)
+    )
+    result.params["markov_next_zone_accuracy"] = round(acc, 4)
+    result.notes.append(
+        f"order-1 Markov next-zone accuracy on the synthetic trace: "
+        f"{acc:.1%} (the paper's [5] reports ~93% predictability for "
+        "human mobility)"
+    )
+
+    # --- 2. plan on corrupted data, serve the truth --------------------
+    truth = correlated_pair_sequence(
+        n_requests, num_servers, jaccard, seed=seed, hotspot_skew=0.15
+    )
+    informed = solve_dp_greedy(truth, model, theta=theta, alpha=alpha)
+
+    curve = []
+    for eps in error_rates:
+        predicted = perturb_sequence(
+            truth,
+            error_rate=eps,
+            seed=seed + 1,
+            time_jitter=time_jitter,
+            item_miss_rate=eps,  # co-occurrence is mispredicted at the
+            # same rate as location: the channel that can flip Phase 1
+        )
+        planned = solve_dp_greedy(predicted, model, theta=theta, alpha=alpha)
+        served = solve_dp_greedy(
+            truth, model, theta=theta, alpha=alpha, plan=planned.plan
+        )
+        agreement = float(
+            set(planned.plan.packages) == set(informed.plan.packages)
+        )
+        penalty = (
+            served.ave_cost / informed.ave_cost if informed.ave_cost else 1.0
+        )
+        curve.append((eps, served.ave_cost))
+        result.rows.append(
+            {
+                "error_rate": eps,
+                "predicted_jaccard": round(
+                    _pair_jaccard(predicted), 4
+                ),
+                "ave_cost_served": round(served.ave_cost, 4),
+                "ave_cost_informed": round(informed.ave_cost, 4),
+                "cost_penalty": round(penalty, 4),
+                "plan_agreement": agreement,
+            }
+        )
+
+    result.series["planned on corrupted, served on truth"] = curve
+    result.series["fully informed"] = [
+        (eps, informed.ave_cost) for eps in error_rates
+    ]
+    worst = max(r["cost_penalty"] for r in result.rows)
+    result.params["worst_cost_penalty"] = round(worst, 4)
+    result.notes.append(
+        f"worst cost penalty across the error grid: {worst:.4f}x -- Phase 1 "
+        "is driven by co-occurrence statistics, which spatial misprediction "
+        "does not disturb"
+    )
+    return result

@@ -1,0 +1,134 @@
+"""Experiment E7 -- the Section V.C running example (Figs. 2, 7, 8).
+
+The paper walks one small instance end to end: two data items, seven
+requests, ``theta = 0.4``, ``mu = lam = 1``, ``alpha = 0.8``.  The server
+layout is reconstructed from the example's own arithmetic (every greedy
+``D``/``Tr`` term pins a same-server/different-server relation):
+
+====== ======= ========= =========================================
+ time   items   server    constraint from the paper's arithmetic
+====== ======= ========= =========================================
+ 0.5    d1      s3        ``D(0.5) = inf`` (no prior d1 on its server)
+ 0.8    d1,d2   s1        first package node, reached by transfer
+ 1.1    d2      s2        ``D(1.1) = inf``
+ 1.4    d1,d2   s2        ``Tr(1.4)`` transfers from 0.8's server
+ 2.6    d1      s3        ``D(2.6) = C(0.5) + 2.1`` (same server as 0.5)
+ 3.2    d2      s3        ``D(3.2) = inf`` for d2
+ 4.0    d1,d2   s1        ``D(4.0)`` caches 3.2 time units from 0.8
+====== ======= ========= =========================================
+
+(origin = s0, m = 4 servers.)
+
+Reproduced exactly: the Jaccard similarity 3/7, the packing decision, and
+the greedy single-sided costs (d1: 1.5 + 1.6 = 3.1; d2: 1.3 + 1.6 = 2.9),
+including which Observation-2 option wins each request.
+
+Documented deviation: for the three package nodes the paper's unstated
+recurrence yields 8.96, but its winning branch charges a ``t_i - t_p(i)``
+cache span on top of a chain that already paid part of that span and
+omits one serving transfer.  The certified-optimal package cost for this
+layout is 9.60 = ((0.8 + 3.2) mu + 2 lam) * 2 alpha: hold the package at
+the origin over [0, 0.8], transfer to s1 at 0.8, keep s1's copy over
+[0.8, 4.0] (serving 4.0 by cache), and transfer to s2 at 1.4 -- verified
+against the exhaustive oracle.  Totals: paper 14.96, reproduction 15.60.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..cache.brute_force import brute_force_cost
+from ..cache.model import CostModel, Request, RequestSequence, SingleItemView
+from ..core.dp_greedy import solve_dp_greedy
+from ..correlation import jaccard_similarity
+from .base import ExperimentResult
+
+__all__ = [
+    "running_example_sequence",
+    "run_running_example",
+    "PAPER_TOTAL",
+    "PAPER_PACKAGE_COST",
+    "PAPER_D1_SINGLE_COST",
+    "PAPER_D2_SINGLE_COST",
+]
+
+#: Values printed in Section V.C of the paper.
+PAPER_PACKAGE_COST = 8.96
+PAPER_D1_SINGLE_COST = 3.1
+PAPER_D2_SINGLE_COST = 2.9
+PAPER_TOTAL = 14.96
+
+THETA = 0.4
+ALPHA = 0.8
+MODEL = CostModel(mu=1.0, lam=1.0)
+
+
+def running_example_sequence() -> RequestSequence:
+    """The Section V.C instance with the reconstructed server layout."""
+    d1, d2 = 1, 2
+    reqs = (
+        Request(server=3, time=0.5, items=frozenset((d1,))),
+        Request(server=1, time=0.8, items=frozenset((d1, d2))),
+        Request(server=2, time=1.1, items=frozenset((d2,))),
+        Request(server=2, time=1.4, items=frozenset((d1, d2))),
+        Request(server=3, time=2.6, items=frozenset((d1,))),
+        Request(server=3, time=3.2, items=frozenset((d2,))),
+        Request(server=1, time=4.0, items=frozenset((d1, d2))),
+    )
+    return RequestSequence(reqs, num_servers=4, origin=0)
+
+
+def run_running_example() -> ExperimentResult:
+    """Replay Section V.C and compare against the paper's numbers."""
+    seq = running_example_sequence()
+    j = jaccard_similarity(seq, 1, 2)
+
+    result = ExperimentResult(
+        experiment_id="running_example",
+        title="Section V.C running example (theta=0.4, alpha=0.8, mu=lam=1)",
+        params={"theta": THETA, "alpha": ALPHA, "mu": 1.0, "lam": 1.0},
+        xlabel="component",
+        ylabel="cost",
+    )
+
+    dpg = solve_dp_greedy(seq, MODEL, theta=THETA, alpha=ALPHA, build_schedules=True)
+    assert len(dpg.plan.packages) == 1, "example must pack d1 and d2"
+    report = dpg.reports[0]
+
+    # split the greedy ledger per item for the paper comparison
+    d1_single = sum(c for t, _m, c in report.modes if t in (0.5, 2.6))
+    d2_single = sum(c for t, _m, c in report.modes if t in (1.1, 3.2))
+
+    # independent certification of the package part by the oracle
+    co_view = SingleItemView(
+        servers=(1, 2, 1), times=(0.8, 1.4, 4.0), num_servers=4, origin=0
+    )
+    oracle_pkg = brute_force_cost(co_view, MODEL.scaled(2 * ALPHA))
+
+    rows = [
+        ("jaccard J(d1,d2)", 3.0 / 7.0, j),
+        ("package (co-occurrence) cost", PAPER_PACKAGE_COST, report.package_cost),
+        ("d1 single-sided greedy cost", PAPER_D1_SINGLE_COST, d1_single),
+        ("d2 single-sided greedy cost", PAPER_D2_SINGLE_COST, d2_single),
+        ("total", PAPER_TOTAL, dpg.total_cost),
+    ]
+    for name, paper, ours in rows:
+        result.rows.append(
+            {
+                "quantity": name,
+                "paper": round(paper, 4),
+                "reproduction": round(ours, 4),
+                "delta": round(ours - paper, 4),
+            }
+        )
+
+    result.params["oracle_package_cost"] = round(oracle_pkg, 4)
+    result.notes.append(
+        "greedy single-sided costs and the Jaccard similarity match the "
+        "paper exactly; the package DP differs (9.60 vs the paper's 8.96) "
+        "because the paper's example arithmetic double-counts an overlapped "
+        "cache span -- our 9.60 equals the exhaustive-oracle optimum "
+        f"({oracle_pkg:.2f}) for this layout (see DESIGN.md)"
+    )
+    return result

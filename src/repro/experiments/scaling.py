@@ -1,0 +1,86 @@
+"""Experiment E9 -- complexity scaling (Section V-B: O(m n^2) / O(m n)).
+
+Measures the wall-clock of the cost-only optimal DP and of the pre-scan
+index construction over growing ``n`` (and two ``m`` values), then fits
+the log-log slope.  The paper's claims translate to a slope of ~2 for the
+service pass in ``n`` and ~1 for the pre-scan; absolute constants are of
+course Python's, not the paper's C solver's.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..cache.model import CostModel
+from ..cache.optimal_dp import optimal_cost
+from ..engine.prescan import PreScan
+from ..trace.workload import random_single_item_view
+from .base import ExperimentResult
+
+__all__ = ["run_scaling", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES: Sequence[int] = (100, 200, 400, 800, 1600, 3200)
+
+
+def _time(fn, *args, repeats: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_scaling(
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    num_servers: int = 50,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Time the DP and pre-scan over growing ``n``; fit log-log slopes."""
+    model = CostModel(mu=1.0, lam=1.0)
+    result = ExperimentResult(
+        experiment_id="scaling",
+        title="Section V-B -- time scaling of the DP service pass and pre-scan",
+        params={"num_servers": num_servers, "seed": seed},
+        xlabel="n (requests)",
+        ylabel="seconds",
+    )
+
+    dp_curve = []
+    scan_curve = []
+    for n in sizes:
+        view = random_single_item_view(n, num_servers, seed=seed, horizon=float(n))
+        t_dp = _time(optimal_cost, view, model)
+        t_scan = _time(PreScan, view)
+        dp_curve.append((float(n), t_dp))
+        scan_curve.append((float(n), t_scan))
+        result.rows.append(
+            {
+                "n": n,
+                "dp_seconds": round(t_dp, 6),
+                "prescan_seconds": round(t_scan, 6),
+            }
+        )
+
+    result.series["optimal DP (cost only)"] = dp_curve
+    result.series["pre-scan build"] = scan_curve
+
+    def slope(curve) -> float:
+        xs = np.log([x for x, _ in curve])
+        ys = np.log([max(y, 1e-9) for _, y in curve])
+        return float(np.polyfit(xs, ys, 1)[0])
+
+    dp_slope = slope(dp_curve)
+    scan_slope = slope(scan_curve)
+    result.params["dp_loglog_slope"] = round(dp_slope, 3)
+    result.params["prescan_loglog_slope"] = round(scan_slope, 3)
+    result.notes.append(
+        f"log-log slopes: DP {dp_slope:.2f} (theory ~2 in n), "
+        f"pre-scan {scan_slope:.2f} (theory ~1 in n at fixed m)"
+    )
+    return result

@@ -1,0 +1,105 @@
+"""Experiment E10 -- the full Section VI setting on one synthetic trace.
+
+Figs. 11-13 are reproduced on controlled pair workloads so each sweep
+varies exactly one statistic; this harness complements them by running
+the complete Section VI configuration end to end -- 10 taxis / items,
+50 zones, pairwise correlations emerging from the mobility model -- and
+comparing the three algorithms across discount factors on that single
+shared trace, exactly as the paper's evaluation does.
+
+Reported shape (mirrors Fig. 13 at trace level): Optimal is flat in
+``alpha``; Package_Served improves as ``alpha`` falls; DP_Greedy tracks
+the better of the two and is never worse than Package_Served.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cache.model import CostModel
+from ..core.baselines import solve_optimal_nonpacking, solve_package_served
+from ..core.dp_greedy import solve_dp_greedy
+from ..correlation import correlation_stats, greedy_pair_packing
+from ..trace.mobility import TaxiTrace, TaxiTraceConfig, generate_taxi_trace
+from .base import ExperimentResult
+
+__all__ = ["run_trace_study"]
+
+
+def run_trace_study(
+    *,
+    alphas: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+    theta: float = 0.3,
+    model: Optional[CostModel] = None,
+    config: Optional[TaxiTraceConfig] = None,
+    trace: Optional[TaxiTrace] = None,
+) -> ExperimentResult:
+    """Compare the three algorithms on one full synthetic taxi trace."""
+    model = model or CostModel(mu=3.0, lam=3.0)
+    if trace is None:
+        trace = generate_taxi_trace(
+            config
+            or TaxiTraceConfig(
+                num_taxis=10, duration=600.0, request_rate=0.5, seed=2019
+            )
+        )
+    seq = trace.sequence
+
+    result = ExperimentResult(
+        experiment_id="trace_study",
+        title="Section VI end-to-end -- three algorithms on the full trace",
+        params={
+            "requests": len(seq),
+            "items": len(seq.items),
+            "zones": trace.grid.num_zones,
+            "theta": theta,
+            "mu": model.mu,
+            "lam": model.lam,
+            "seed": trace.config.seed,
+        },
+        xlabel="alpha",
+        ylabel="ave_cost",
+    )
+
+    stats = correlation_stats(seq)
+    plan = greedy_pair_packing(stats, theta)
+    result.params["packages_formed"] = len(plan.packages)
+    result.notes.append(
+        "packages formed at theta=%.2f: %s"
+        % (theta, [sorted(p) for p in plan.packages])
+    )
+
+    opt = solve_optimal_nonpacking(seq, model)
+    opt_curve = []
+    dpg_curve = []
+    pkg_curve = []
+    for alpha in alphas:
+        dpg = solve_dp_greedy(seq, model, theta=theta, alpha=alpha)
+        pkg = solve_package_served(seq, model, theta=theta, alpha=alpha)
+        opt_curve.append((alpha, opt.ave_cost))
+        dpg_curve.append((alpha, dpg.ave_cost))
+        pkg_curve.append((alpha, pkg.ave_cost))
+        result.rows.append(
+            {
+                "alpha": alpha,
+                "optimal": round(opt.ave_cost, 4),
+                "package_served": round(pkg.ave_cost, 4),
+                "dp_greedy": round(dpg.ave_cost, 4),
+            }
+        )
+
+    result.series["Optimal (non-packing)"] = opt_curve
+    result.series["Package_Served"] = pkg_curve
+    result.series["DP_Greedy"] = dpg_curve
+
+    best_at = {
+        row["alpha"]: min(
+            ("optimal", row["optimal"]),
+            ("package_served", row["package_served"]),
+            ("dp_greedy", row["dp_greedy"]),
+            key=lambda kv: kv[1],
+        )[0]
+        for row in result.rows
+    }
+    result.notes.append(f"best algorithm per alpha: {best_at}")
+    return result

@@ -1,0 +1,30 @@
+"""Synthetic mobility traces and workload generators (Section VI substitute)."""
+
+from .mobility import TaxiTrace, TaxiTraceConfig, generate_taxi_trace
+from .io import load_sequence, save_sequence, sequence_from_csv, sequence_to_csv
+from .predictor import MarkovZonePredictor, perturb_sequence
+from .workload import (
+    correlated_pair_sequence,
+    diurnal_workload,
+    random_single_item_view,
+    zipf_item_workload,
+)
+from .zones import SHENZHEN_BBOX, CityGrid
+
+__all__ = [
+    "CityGrid",
+    "SHENZHEN_BBOX",
+    "TaxiTrace",
+    "TaxiTraceConfig",
+    "generate_taxi_trace",
+    "MarkovZonePredictor",
+    "perturb_sequence",
+    "correlated_pair_sequence",
+    "zipf_item_workload",
+    "diurnal_workload",
+    "random_single_item_view",
+    "sequence_to_csv",
+    "sequence_from_csv",
+    "save_sequence",
+    "load_sequence",
+]

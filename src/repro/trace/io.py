@@ -1,0 +1,112 @@
+"""Trace persistence: CSV round-trips for request sequences.
+
+A downstream user's first step is feeding their own trace into the
+library, so sequences serialise to/from a dead-simple CSV dialect::
+
+    server,time,items
+    3,0.5,1
+    1,0.8,1|2
+    2,1.4,1|2
+
+``items`` is a ``|``-separated list of integer item ids.  Metadata
+(``num_servers``, ``origin``) rides in a ``# key=value`` comment header
+so a file is self-contained; both can also be overridden at load time.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..cache.model import Request, RequestSequence
+
+__all__ = ["sequence_to_csv", "sequence_from_csv", "save_sequence", "load_sequence"]
+
+
+def sequence_to_csv(seq: RequestSequence) -> str:
+    """Serialise ``seq`` (with metadata header) to CSV text."""
+    buf = io.StringIO()
+    buf.write(f"# num_servers={seq.num_servers}\n")
+    buf.write(f"# origin={seq.origin}\n")
+    writer = csv.writer(buf)
+    writer.writerow(["server", "time", "items"])
+    for r in seq:
+        items = "|".join(str(d) for d in sorted(r.items))
+        writer.writerow([r.server, repr(r.time), items])
+    return buf.getvalue()
+
+
+def sequence_from_csv(
+    text: str,
+    *,
+    num_servers: Optional[int] = None,
+    origin: Optional[int] = None,
+) -> RequestSequence:
+    """Parse CSV text produced by :func:`sequence_to_csv` (or compatible).
+
+    Explicit ``num_servers``/``origin`` arguments override the header;
+    when neither a header nor an argument provides ``num_servers``, the
+    smallest universe covering the observed servers is used.
+    """
+    meta = {}
+    rows: List[Tuple[int, float, frozenset]] = []
+    reader = csv.reader(io.StringIO(text))
+    header_seen = False
+    for raw in reader:
+        if not raw:
+            continue
+        if raw[0].lstrip().startswith("#"):
+            entry = raw[0].lstrip("# ").strip()
+            if "=" in entry:
+                k, v = entry.split("=", 1)
+                meta[k.strip()] = v.strip()
+            continue
+        if not header_seen:
+            expected = [c.strip().lower() for c in raw]
+            if expected[:3] != ["server", "time", "items"]:
+                raise ValueError(
+                    f"unrecognised CSV header {raw!r}; expected server,time,items"
+                )
+            header_seen = True
+            continue
+        if len(raw) < 3:
+            raise ValueError(f"malformed row {raw!r}")
+        server = int(raw[0])
+        time = float(raw[1])
+        items = frozenset(int(tok) for tok in raw[2].split("|") if tok != "")
+        if not items:
+            raise ValueError(f"row at t={time} has no items")
+        rows.append((server, time, items))
+
+    if num_servers is None:
+        if "num_servers" in meta:
+            num_servers = int(meta["num_servers"])
+        else:
+            num_servers = max((s for s, _t, _i in rows), default=0) + 1
+    if origin is None:
+        origin = int(meta.get("origin", 0))
+
+    reqs = tuple(Request(s, t, i) for s, t, i in rows)
+    return RequestSequence(reqs, num_servers=num_servers, origin=origin)
+
+
+def save_sequence(path: Union[str, Path], seq: RequestSequence) -> Path:
+    """Write ``seq`` to ``path`` as CSV (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(sequence_to_csv(seq))
+    return path
+
+
+def load_sequence(
+    path: Union[str, Path],
+    *,
+    num_servers: Optional[int] = None,
+    origin: Optional[int] = None,
+) -> RequestSequence:
+    """Load a sequence saved by :func:`save_sequence`."""
+    return sequence_from_csv(
+        Path(path).read_text(), num_servers=num_servers, origin=origin
+    )

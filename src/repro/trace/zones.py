@@ -1,0 +1,83 @@
+"""City partition: zones and their cache servers (Section VI).
+
+The paper partitions the territory of Shenzhen into a number of parts
+(50 in the evaluation), "each maintaining a data server to serve the user
+requests made in the taxis".  :class:`CityGrid` reproduces that mapping:
+a rectangular bounding box divided into ``rows x cols`` zones, each zone
+hosting exactly one cache server with the same index.
+
+The default bounding box is Shenzhen's approximate extent in lon/lat so
+that generated traces carry plausible coordinates; the algorithms only
+ever see zone (= server) indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["CityGrid", "SHENZHEN_BBOX"]
+
+#: Approximate Shenzhen bounding box: (min_x, min_y, max_x, max_y).
+SHENZHEN_BBOX = (113.75, 22.45, 114.65, 22.85)
+
+
+@dataclass(frozen=True)
+class CityGrid:
+    """A ``rows x cols`` rectangular partition of a bounding box.
+
+    Zone/server indices run row-major: zone ``(r, c)`` has index
+    ``r * cols + c``.
+    """
+
+    rows: int
+    cols: int
+    bbox: Tuple[float, float, float, float] = SHENZHEN_BBOX
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        x0, y0, x1, y1 = self.bbox
+        if x1 <= x0 or y1 <= y0:
+            raise ValueError(f"degenerate bounding box {self.bbox}")
+
+    @property
+    def num_zones(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def cell_size(self) -> Tuple[float, float]:
+        x0, y0, x1, y1 = self.bbox
+        return (x1 - x0) / self.cols, (y1 - y0) / self.rows
+
+    def zone_of(self, x: float, y: float) -> int:
+        """Zone index of a point; points outside clamp to the border."""
+        x0, y0, x1, y1 = self.bbox
+        w, h = self.cell_size
+        c = int(np.clip((x - x0) // w, 0, self.cols - 1))
+        r = int(np.clip((y - y0) // h, 0, self.rows - 1))
+        return r * self.cols + c
+
+    def zones_of(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`zone_of` over coordinate arrays."""
+        x0, y0, x1, y1 = self.bbox
+        w, h = self.cell_size
+        cs = np.clip(((xs - x0) // w).astype(np.int64), 0, self.cols - 1)
+        rs = np.clip(((ys - y0) // h).astype(np.int64), 0, self.rows - 1)
+        return rs * self.cols + cs
+
+    def center(self, zone: int) -> Tuple[float, float]:
+        """Geometric center of a zone (used as a waypoint anchor)."""
+        if not 0 <= zone < self.num_zones:
+            raise ValueError(f"zone {zone} outside [0, {self.num_zones})")
+        r, c = divmod(zone, self.cols)
+        x0, y0, _x1, _y1 = self.bbox
+        w, h = self.cell_size
+        return x0 + (c + 0.5) * w, y0 + (r + 0.5) * h
+
+    def iter_centers(self) -> Iterator[Tuple[int, float, float]]:
+        for z in range(self.num_zones):
+            x, y = self.center(z)
+            yield z, x, y

@@ -1,0 +1,15 @@
+"""Plot and table rendering for the experiment harnesses (no matplotlib)."""
+
+from .ascii import ascii_heatmap, ascii_histogram, ascii_line_plot
+from .spacetime import render_schedule
+from .tables import format_table, rows_to_csv, write_csv
+
+__all__ = [
+    "ascii_line_plot",
+    "ascii_histogram",
+    "ascii_heatmap",
+    "render_schedule",
+    "rows_to_csv",
+    "write_csv",
+    "format_table",
+]

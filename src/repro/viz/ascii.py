@@ -1,0 +1,114 @@
+"""Terminal plotting: ASCII line charts, histograms, and heatmaps.
+
+matplotlib is not available in the offline reproduction environment, so
+every figure harness renders its series in three forms: a CSV file (for
+external plotting), a compact result table, and the ASCII charts of this
+module (for immediate visual inspection of the curve shapes the paper
+reports -- trends and crossovers, not pixel fidelity).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_line_plot", "ascii_histogram", "ascii_heatmap"]
+
+_MARKERS = "o*x+#@%&"
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.3g}"
+
+
+def ascii_line_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render one or more ``(x, y)`` series on a shared ASCII canvas.
+
+    Each series gets a distinct marker; a legend, axis ranges, and labels
+    are appended.  Points are nearest-cell rasterised; later series
+    overwrite earlier ones on collisions.
+    """
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for idx, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in data:
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} [{_fmt(y_lo)} .. {_fmt(y_hi)}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel}: {_fmt(x_lo)} .. {_fmt(x_hi)}    " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Mapping[str, float],
+    *,
+    width: int = 48,
+    title: str = "",
+    sort: bool = False,
+) -> str:
+    """Horizontal bar chart of labelled values."""
+    if not values:
+        return f"{title}\n(no data)"
+    items = list(values.items())
+    if sort:
+        items.sort(key=lambda kv: -kv[1])
+    peak = max(v for _k, v in items)
+    peak = peak if peak > 0 else 1.0
+    label_w = max(len(str(k)) for k, _v in items)
+    lines = [title] if title else []
+    for k, v in items:
+        bar = "#" * max(0, round(v / peak * width))
+        lines.append(f"{str(k):>{label_w}} | {bar} {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    matrix: Sequence[Sequence[float]],
+    *,
+    title: str = "",
+    shades: str = " .:-=+*#%@",
+) -> str:
+    """Density heatmap (e.g. the Fig. 9 per-zone request counts)."""
+    flat = [v for row in matrix for v in row]
+    if not flat:
+        return f"{title}\n(no data)"
+    peak = max(flat) or 1.0
+    lines = [title] if title else []
+    for row in matrix:
+        cells = []
+        for v in row:
+            level = int(v / peak * (len(shades) - 1))
+            cells.append(shades[level] * 2)
+        lines.append("".join(cells))
+    lines.append(f"scale: '{shades[0]}'=0 .. '{shades[-1]}'={_fmt(peak)}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Space-time schedule diagrams (the paper's Figs. 1, 2, 7).
+
+Renders a :class:`~repro.cache.schedule.Schedule` the way the paper draws
+feasible schedules: one row per server, time increasing to the right,
+``=`` runs for cache intervals, ``|``-style markers for transfers, and
+``*`` for the request nodes being served.  Pure text, so schedules can be
+inspected in any terminal and embedded in test failure messages.
+
+Example output (the running example's package schedule)::
+
+    s0 O====T
+    s1 .....*=============================*
+    s2 ..........T....*
+        t=0.00                          t=4.00
+    transfers: s0->s1@0.8  s1->s2@1.4
+
+Legend: ``O`` origin placement, ``=`` cached copy, ``*`` request served
+on that server, ``T`` transfer departure/arrival column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..cache.model import RequestSequence, SingleItemView
+from ..cache.schedule import Schedule
+
+__all__ = ["render_schedule"]
+
+
+def _column(t: float, t_max: float, width: int) -> int:
+    if t_max <= 0:
+        return 0
+    return min(width - 1, max(0, round(t / t_max * (width - 1))))
+
+
+def render_schedule(
+    schedule: Schedule,
+    requests: "RequestSequence | SingleItemView | None" = None,
+    *,
+    num_servers: Optional[int] = None,
+    origin: Optional[int] = None,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """Render ``schedule`` (and optionally its requests) as ASCII art.
+
+    Parameters
+    ----------
+    requests:
+        When given, request nodes are marked with ``*`` on their server
+        row and the server universe/origin default to the sequence's.
+    num_servers, origin:
+        Explicit universe when no request object is supplied (servers
+        appearing in the schedule are always included).
+    width:
+        Number of character columns the time axis is quantised onto.
+    """
+    req_servers: Sequence[int] = ()
+    req_times: Sequence[float] = ()
+    if requests is not None:
+        req_servers = requests.servers
+        req_times = requests.times
+        num_servers = num_servers or requests.num_servers
+        origin = requests.origin if origin is None else origin
+
+    touched = {iv.server for iv in schedule.intervals}
+    touched |= {tr.src for tr in schedule.transfers}
+    touched |= {tr.dst for tr in schedule.transfers}
+    touched |= set(req_servers)
+    if origin is not None:
+        touched.add(origin)
+    if num_servers is None:
+        num_servers = (max(touched) + 1) if touched else 1
+
+    t_candidates = (
+        [iv.end for iv in schedule.intervals]
+        + [tr.time for tr in schedule.transfers]
+        + list(req_times)
+    )
+    t_max = max(t_candidates, default=1.0)
+
+    rows = [[" "] * width for _ in range(num_servers)]
+
+    def put(server: int, col: int, ch: str, *, force: bool = False) -> None:
+        if rows[server][col] == " " or force:
+            rows[server][col] = ch
+
+    # cache intervals first (lowest priority glyph)
+    for iv in schedule.intervals:
+        c0 = _column(iv.start, t_max, width)
+        c1 = _column(iv.end, t_max, width)
+        for c in range(c0, c1 + 1):
+            put(iv.server, c, "=")
+
+    # transfers overwrite with T at both endpoints
+    for tr in schedule.transfers:
+        c = _column(tr.time, t_max, width)
+        put(tr.src, c, "T", force=True)
+        put(tr.dst, c, "T", force=True)
+
+    # request nodes on top
+    for s, t in zip(req_servers, req_times):
+        c = _column(t, t_max, width)
+        put(s, c, "*", force=True)
+
+    # origin marker at t = 0
+    if origin is not None:
+        put(origin, 0, "O", force=True)
+
+    label_w = len(f"s{num_servers - 1}")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for s in range(num_servers):
+        lines.append(f"{f's{s}':>{label_w}} " + "".join(rows[s]).rstrip())
+    axis = f"{'':>{label_w}} t=0" + " " * max(0, width - 12) + f"t={t_max:g}"
+    lines.append(axis)
+    if schedule.transfers:
+        moves = "  ".join(
+            f"s{tr.src}->s{tr.dst}@{tr.time:g}" for tr in schedule.transfers
+        )
+        lines.append(f"transfers: {moves}")
+    if schedule.rate_multiplier != 1.0:
+        lines.append(f"(all rates x{schedule.rate_multiplier:g})")
+    return "\n".join(lines)

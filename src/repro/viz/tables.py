@@ -1,0 +1,69 @@
+"""Tabular result output: CSV files and aligned text tables.
+
+Every experiment harness emits its series through these helpers so the
+benchmark runs leave machine-readable artefacts next to the ASCII charts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["rows_to_csv", "write_csv", "format_table"]
+
+Row = Mapping[str, Union[str, float, int]]
+
+
+def rows_to_csv(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise dict-rows to CSV text (column order preserved)."""
+    if not rows:
+        return ""
+    cols = list(columns) if columns else list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csv(
+    path: Union[str, Path],
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write dict-rows as CSV, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows, columns))
+    return path
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Aligned plain-text table of dict-rows."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    rendered = [[cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(v.rjust(w) for v, w in zip(r, widths)) for r in rendered
+    ]
+    return "\n".join([header, sep, *body])

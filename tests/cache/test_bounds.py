@@ -1,0 +1,83 @@
+"""Tests for the analytic lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.bounds import analytic_lower_bound, bound_breakdown
+from repro.cache.model import CostModel, RequestSequence, SingleItemView
+from repro.cache.optimal_dp import optimal_cost
+
+from ..conftest import cost_models, single_item_views
+
+
+def view(servers, times, m=4, origin=0):
+    return SingleItemView(
+        servers=tuple(servers), times=tuple(times), num_servers=m, origin=origin
+    )
+
+
+class TestValidity:
+    @settings(max_examples=150, deadline=None)
+    @given(v=single_item_views(), model=cost_models())
+    def test_never_exceeds_optimum(self, v, model):
+        lb = analytic_lower_bound(v, model)
+        assert lb <= optimal_cost(v, model) + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(v=single_item_views(), model=cost_models())
+    def test_each_component_is_valid_alone(self, v, model):
+        bb = bound_breakdown(v, model)
+        opt = optimal_cost(v, model)
+        assert bb.per_request <= opt + 1e-9
+        assert bb.persistence <= opt + 1e-9
+        assert bb.spread <= opt + 1e-9
+        assert bb.best == max(bb.per_request, bb.persistence, bb.spread)
+
+
+class TestExactCases:
+    def test_empty(self, unit_model):
+        assert analytic_lower_bound(view([], []), unit_model) == 0.0
+
+    def test_single_origin_request_bound_is_tight(self, unit_model):
+        v = view([0], [2.0])
+        assert analytic_lower_bound(v, unit_model) == pytest.approx(2.0)
+        assert optimal_cost(v, unit_model) == pytest.approx(2.0)
+
+    def test_same_server_chain_is_tight(self, unit_model):
+        v = view([0, 0, 0], [1.0, 2.0, 3.0])
+        assert analytic_lower_bound(v, unit_model) == pytest.approx(
+            optimal_cost(v, unit_model)
+        )
+
+    def test_spread_bound_counts_foreign_servers(self, unit_model):
+        v = view([1, 2, 3], [0.1, 0.2, 0.3])
+        bb = bound_breakdown(v, unit_model)
+        assert bb.spread == pytest.approx(3.0)
+
+    def test_persistence_dominates_sparse_same_server(self):
+        model = CostModel(mu=10.0, lam=0.1)
+        v = view([1, 2], [5.0, 10.0])
+        bb = bound_breakdown(v, model)
+        assert bb.persistence == pytest.approx(100.0)
+        assert bb.best == bb.persistence
+
+    def test_accepts_request_sequence(self, unit_model):
+        seq = RequestSequence([(1, 1.0, {3})], num_servers=2)
+        assert analytic_lower_bound(seq, unit_model) > 0
+
+
+class TestTightness:
+    def test_reasonably_tight_on_random_workloads(self, unit_model):
+        """The max-bound should recover a large share of the optimum on
+        typical workloads (documented heuristic quality, not a theorem)."""
+        from repro.trace.workload import random_single_item_view
+
+        ratios = []
+        for seed in range(5):
+            v = random_single_item_view(80, 8, seed=seed)
+            lb = analytic_lower_bound(v, unit_model)
+            opt = optimal_cost(v, unit_model)
+            ratios.append(lb / opt)
+        assert sum(ratios) / len(ratios) > 0.5

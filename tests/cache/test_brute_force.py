@@ -1,0 +1,77 @@
+"""Tests for the exhaustive oracle itself (trust, but verify the verifier)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.brute_force import MAX_REQUESTS, MAX_SERVERS, brute_force_cost
+from repro.cache.model import CostModel, RequestSequence, SingleItemView
+
+
+def view(servers, times, m=4, origin=0):
+    return SingleItemView(
+        servers=tuple(servers), times=tuple(times), num_servers=m, origin=origin
+    )
+
+
+def test_empty_sequence_is_free(unit_model):
+    assert brute_force_cost(view([], []), unit_model) == 0.0
+
+
+def test_single_request_other_server(unit_model):
+    # keep origin copy to t=1, transfer: mu*1 + lam
+    assert brute_force_cost(view([1], [1.0]), unit_model) == pytest.approx(2.0)
+
+
+def test_single_request_origin_server(unit_model):
+    assert brute_force_cost(view([0], [1.0]), unit_model) == pytest.approx(1.0)
+
+
+def test_two_requests_same_far_server_reuses_copy(unit_model):
+    # origin->s1 at t=1 (1+1), keep s1 copy 1->1.5 (0.5): total 2.5
+    c = brute_force_cost(view([1, 1], [1.0, 1.5]), unit_model)
+    assert c == pytest.approx(2.5)
+
+
+def test_choice_between_cache_and_retransfer():
+    model = CostModel(mu=1.0, lam=10.0)
+    # with expensive transfers, cache everything on one chain
+    c = brute_force_cost(view([0, 1, 0], [1.0, 2.0, 3.0]), model)
+    # hold origin 0->3 (3), transfer at 2 (10): alternatives all pricier
+    assert c == pytest.approx(3.0 + 10.0)
+
+
+def test_persistence_is_enforced():
+    """Even when caching is expensive, a copy must survive every gap."""
+    model = CostModel(mu=10.0, lam=0.1)
+    c = brute_force_cost(view([1, 2], [1.0, 2.0]), model)
+    assert c >= 2.0 * 10.0  # at least one copy alive over [0, 2]
+
+
+def test_refuses_oversized_instances(unit_model):
+    big_m = view([0], [1.0], m=MAX_SERVERS + 1)
+    with pytest.raises(ValueError, match="servers"):
+        brute_force_cost(big_m, unit_model)
+    n = MAX_REQUESTS + 1
+    big_n = view([0] * n, [float(i + 1) for i in range(n)], m=2)
+    with pytest.raises(ValueError, match="requests"):
+        brute_force_cost(big_n, unit_model)
+
+
+def test_rejects_time_zero(unit_model):
+    with pytest.raises(ValueError, match="strictly positive"):
+        brute_force_cost(view([1], [0.0]), unit_model)
+
+
+def test_accepts_request_sequence(unit_model):
+    seq = RequestSequence([(1, 1.0, {3})], num_servers=2)
+    assert brute_force_cost(seq, unit_model) == pytest.approx(2.0)
+
+
+def test_multiple_copies_can_beat_single_chain(unit_model):
+    """Keeping two copies is optimal when two servers alternate densely."""
+    v = view([1, 2, 1, 2], [1.0, 1.1, 1.2, 1.3], m=3)
+    c = brute_force_cost(v, unit_model)
+    # single-chain strategy would pay a transfer per alternation (>= 3 lam);
+    # dual copies pay ~2 transfers plus tiny caching
+    assert c < 3.0 * unit_model.lam + 1.3

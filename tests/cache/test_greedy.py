@@ -1,0 +1,106 @@
+"""Tests for the simple greedy algorithm (Section IV-B comparator)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.greedy import solve_greedy
+from repro.cache.model import CostModel, RequestSequence, SingleItemView
+from repro.cache.optimal_dp import optimal_cost
+from repro.cache.schedule import validate_schedule
+
+from ..conftest import cost_models, single_item_views
+
+
+def view(servers, times, m=4, origin=0):
+    return SingleItemView(
+        servers=tuple(servers), times=tuple(times), num_servers=m, origin=origin
+    )
+
+
+class TestExamples:
+    def test_empty_sequence(self, unit_model):
+        res = solve_greedy(view([], []), unit_model)
+        assert res.cost == 0.0
+        assert res.per_request == ()
+
+    def test_first_request_transfers_from_origin(self, unit_model):
+        """Paper: Tr(0.5) = C(0) + 0.5*mu + lam = 1.5."""
+        res = solve_greedy(view([3], [0.5]), unit_model)
+        assert res.cost == pytest.approx(1.5)
+        assert res.per_request[0][0] == "transfer"
+
+    def test_cache_wins_on_same_server(self, unit_model):
+        res = solve_greedy(view([0, 0], [1.0, 1.5]), unit_model)
+        # second request: cache 0.5 beats transfer 0.5 + 1
+        assert res.per_request[1] == ("cache", pytest.approx(0.5))
+
+    def test_transfer_includes_source_keepalive(self, unit_model):
+        """Transfer from r_{i-1} costs mu*(t_i - t_{i-1}) + lam."""
+        res = solve_greedy(view([1, 2], [1.0, 3.0]), unit_model)
+        mode, cost = res.per_request[1]
+        assert mode == "transfer"
+        assert cost == pytest.approx(2.0 + 1.0)
+
+    def test_running_example_d2_chain(self, unit_model):
+        """Paper V.C d2 chain without the package option: 1.3 then 2.8."""
+        # d2-only nodes 1.1@s2, 3.2@s3 with package nodes 0.8@s1, 1.4@s2
+        # folded in as plain nodes of the item's trajectory
+        v = view([1, 2, 2, 3], [0.8, 1.1, 1.4, 3.2])
+        res = solve_greedy(v, unit_model)
+        modes = dict(zip([0.8, 1.1, 1.4, 3.2], res.per_request))
+        assert modes[1.1] == ("transfer", pytest.approx(0.3 + 1.0))
+        assert modes[3.2] == ("transfer", pytest.approx(1.8 + 1.0))
+
+    def test_ledger_equals_sum_of_per_request(self, unit_model):
+        v = view([1, 2, 1, 0], [1.0, 2.0, 2.5, 4.0])
+        res = solve_greedy(v, unit_model)
+        assert res.cost == pytest.approx(sum(c for _m, c in res.per_request))
+
+    def test_rate_multiplier(self, unit_model):
+        v = view([1, 2], [1.0, 2.0])
+        base = solve_greedy(v, unit_model).cost
+        scaled = solve_greedy(v, unit_model, rate_multiplier=1.6).cost
+        assert scaled == pytest.approx(1.6 * base)
+
+    def test_zero_time_rejected(self, unit_model):
+        with pytest.raises(ValueError, match="strictly positive"):
+            solve_greedy(view([1], [0.0]), unit_model)
+
+    def test_accepts_request_sequence(self, unit_model):
+        seq = RequestSequence([(1, 1.0, {4})], num_servers=2)
+        assert solve_greedy(seq, unit_model).cost == pytest.approx(2.0)
+
+
+class TestProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(v=single_item_views(min_requests=1), model=cost_models())
+    def test_schedule_is_feasible(self, v, model):
+        res = solve_greedy(v, model)
+        validate_schedule(res.schedule, v)
+
+    @settings(max_examples=120, deadline=None)
+    @given(v=single_item_views(min_requests=1), model=cost_models())
+    def test_schedule_ledger_matches_cost(self, v, model):
+        res = solve_greedy(v, model)
+        assert res.schedule.cost(model) == pytest.approx(res.cost)
+
+    @settings(max_examples=120, deadline=None)
+    @given(v=single_item_views(), model=cost_models())
+    def test_never_beats_optimal(self, v, model):
+        g = solve_greedy(v, model, build_schedule=False).cost
+        assert g >= optimal_cost(v, model) - 1e-9
+
+    @settings(max_examples=120, deadline=None)
+    @given(v=single_item_views(), model=cost_models())
+    def test_two_approximation(self, v, model):
+        """Section IV-B (Eq. 7-8): greedy <= 2 * optimal."""
+        g = solve_greedy(v, model, build_schedule=False).cost
+        assert g <= 2.0 * optimal_cost(v, model) + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(v=single_item_views(min_requests=1), model=cost_models())
+    def test_merged_cost_never_exceeds_ledger(self, v, model):
+        res = solve_greedy(v, model)
+        assert res.schedule.merged_cost(model) <= res.cost + 1e-9

@@ -1,0 +1,236 @@
+"""Unit tests for the domain model (requests, sequences, cost model)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.model import (
+    CostModel,
+    Request,
+    RequestSequence,
+    SingleItemView,
+    package_rate,
+)
+
+
+class TestRequest:
+    def test_basic_construction(self):
+        r = Request(server=2, time=1.5, items=frozenset({1, 3}))
+        assert r.server == 2
+        assert r.time == 1.5
+        assert r.items == {1, 3}
+
+    def test_contains(self):
+        r = Request(server=0, time=1.0, items=frozenset({4}))
+        assert r.contains(4)
+        assert not r.contains(5)
+
+    def test_rejects_empty_items(self):
+        with pytest.raises(ValueError, match="at least one data item"):
+            Request(server=0, time=1.0, items=frozenset())
+
+    def test_rejects_negative_server(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Request(server=-1, time=1.0, items=frozenset({1}))
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Request(server=0, time=-0.1, items=frozenset({1}))
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(ValueError, match="finite"):
+            Request(server=0, time=float("nan"), items=frozenset({1}))
+
+    def test_is_hashable_and_frozen(self):
+        r = Request(server=0, time=1.0, items=frozenset({1}))
+        assert hash(r) == hash(Request(server=0, time=1.0, items=frozenset({1})))
+        with pytest.raises(AttributeError):
+            r.server = 3  # type: ignore[misc]
+
+    def test_str_mentions_server_and_items(self):
+        s = str(Request(server=1, time=2.0, items=frozenset({7})))
+        assert "s1" in s and "d7" in s
+
+
+class TestRequestSequence:
+    def test_tuple_coercion(self):
+        seq = RequestSequence([(0, 1.0, {1}), (1, 2.0, 2)], num_servers=2)
+        assert len(seq) == 2
+        assert seq[0].items == {1}
+        assert seq[1].items == {2}
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RequestSequence([(0, 1.0, {1}), (1, 1.0, {1})], num_servers=2)
+
+    def test_rejects_out_of_range_server(self):
+        with pytest.raises(ValueError, match="servers"):
+            RequestSequence([(5, 1.0, {1})], num_servers=2)
+
+    def test_rejects_bad_origin(self):
+        with pytest.raises(ValueError, match="origin"):
+            RequestSequence([(0, 1.0, {1})], num_servers=2, origin=7)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError, match="num_servers"):
+            RequestSequence([], num_servers=0)
+
+    def test_items_universe(self):
+        seq = RequestSequence(
+            [(0, 1.0, {1, 2}), (1, 2.0, {3})], num_servers=2
+        )
+        assert seq.items == {1, 2, 3}
+
+    def test_item_counts_and_cooccurrence(self):
+        seq = RequestSequence(
+            [(0, 1.0, {1, 2}), (1, 2.0, {1}), (0, 3.0, {2}), (1, 4.0, {1, 2})],
+            num_servers=2,
+        )
+        counts = seq.item_counts()
+        assert counts == {1: 3, 2: 3}
+        assert seq.cooccurrence(1, 2) == 2
+        assert seq.total_item_requests() == 6
+
+    def test_cooccurrence_same_item_rejected(self):
+        seq = RequestSequence([(0, 1.0, {1})], num_servers=1)
+        with pytest.raises(ValueError):
+            seq.cooccurrence(1, 1)
+
+    def test_restrict_to_item(self):
+        seq = RequestSequence(
+            [(0, 1.0, {1, 2}), (1, 2.0, {2}), (0, 3.0, {1})], num_servers=2
+        )
+        sub = seq.restrict_to_item(1)
+        assert [r.time for r in sub] == [1.0, 3.0]
+        assert all(r.items == {1} for r in sub)
+
+    def test_restrict_modes(self):
+        seq = RequestSequence(
+            [
+                (0, 1.0, {1, 2}),
+                (1, 2.0, {1}),
+                (0, 3.0, {2}),
+                (1, 4.0, {1, 2, 3}),
+                (0, 5.0, {3}),
+            ],
+            num_servers=2,
+        )
+        assert [r.time for r in seq.restrict_to_items({1, 2}, "any")] == [
+            1.0, 2.0, 3.0, 4.0,
+        ]
+        assert [r.time for r in seq.restrict_to_items({1, 2}, "all")] == [1.0, 4.0]
+        assert [r.time for r in seq.restrict_to_items({1, 2}, "exactly-one")] == [
+            2.0, 3.0,
+        ]
+
+    def test_restrict_keeps_intersection_only(self):
+        seq = RequestSequence([(0, 1.0, {1, 2, 3})], num_servers=1)
+        sub = seq.restrict_to_items({1, 2}, "any")
+        assert sub[0].items == {1, 2}
+
+    def test_restrict_rejects_bad_mode(self):
+        seq = RequestSequence([(0, 1.0, {1})], num_servers=1)
+        with pytest.raises(ValueError, match="unknown mode"):
+            seq.restrict_to_items({1}, "bogus")
+
+    def test_restrict_rejects_empty_group(self):
+        seq = RequestSequence([(0, 1.0, {1})], num_servers=1)
+        with pytest.raises(ValueError, match="non-empty"):
+            seq.restrict_to_items(set(), "any")
+
+    def test_single_item_view(self):
+        seq = RequestSequence([(0, 1.0, {1}), (1, 2.0, {1})], num_servers=2)
+        view = seq.single_item_view()
+        assert view.servers == (0, 1)
+        assert view.times == (1.0, 2.0)
+        assert len(view) == 2
+
+    def test_single_item_view_rejects_multi(self):
+        seq = RequestSequence([(0, 1.0, {1, 2})], num_servers=1)
+        with pytest.raises(ValueError, match="single-item"):
+            seq.single_item_view()
+
+    def test_empty_sequence(self):
+        seq = RequestSequence([], num_servers=3)
+        assert len(seq) == 0
+        assert seq.items == frozenset()
+        assert seq.total_item_requests() == 0
+
+
+class TestCostModel:
+    def test_serve_cost_same_server_has_no_transfer(self, unit_model):
+        assert unit_model.serve_cost(1.0, 3.0, same_server=True) == 2.0
+
+    def test_serve_cost_cross_server_adds_lambda(self, unit_model):
+        assert unit_model.serve_cost(1.0, 3.0, same_server=False) == 3.0
+
+    def test_serve_cost_backwards_is_infinite(self, unit_model):
+        assert math.isinf(unit_model.serve_cost(3.0, 1.0, same_server=True))
+
+    def test_cache_cost_negative_duration_rejected(self, unit_model):
+        with pytest.raises(ValueError):
+            unit_model.cache_cost(-1.0)
+
+    def test_rates_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(mu=-1.0, lam=1.0)
+        with pytest.raises(ValueError):
+            CostModel(mu=0.0, lam=0.0)
+
+    def test_zero_lambda_allowed(self):
+        m = CostModel(mu=1.0, lam=0.0)
+        assert m.transfer_cost() == 0.0
+
+    def test_scaled(self):
+        m = CostModel(mu=2.0, lam=3.0).scaled(1.6)
+        assert m.mu == pytest.approx(3.2)
+        assert m.lam == pytest.approx(4.8)
+
+    def test_scaled_rejects_nonpositive(self, unit_model):
+        with pytest.raises(ValueError):
+            unit_model.scaled(0.0)
+
+    def test_package_model_table_ii(self, unit_model):
+        """Table II: k-item package cached at alpha*k*mu, moved at alpha*k*lam."""
+        pm = unit_model.package_model(2, alpha=0.8)
+        assert pm.mu == pytest.approx(1.6)
+        assert pm.lam == pytest.approx(1.6)
+        pm3 = unit_model.package_model(3, alpha=0.5)
+        assert pm3.mu == pytest.approx(1.5)
+
+    def test_package_rate_single_item_no_discount(self):
+        assert package_rate(1, alpha=0.2) == 1.0
+
+    def test_package_rate_validation(self):
+        with pytest.raises(ValueError):
+            package_rate(0, 0.8)
+        with pytest.raises(ValueError):
+            package_rate(2, 1.5)
+        with pytest.raises(ValueError):
+            package_rate(2, 0.0)
+
+    def test_rho(self):
+        assert CostModel(mu=2.0, lam=4.0).rho == 2.0
+        assert math.isinf(CostModel(mu=0.0, lam=1.0).rho)
+
+    def test_from_rho_fig12_convention(self):
+        m = CostModel.from_rho(2.0, total=6.0)
+        assert m.mu == pytest.approx(2.0)
+        assert m.lam == pytest.approx(4.0)
+        assert m.rho == pytest.approx(2.0)
+
+    @given(rho=st.floats(0.1, 10.0), total=st.floats(0.5, 20.0))
+    def test_from_rho_invariants(self, rho, total):
+        m = CostModel.from_rho(rho, total=total)
+        assert m.mu + m.lam == pytest.approx(total)
+        assert m.rho == pytest.approx(rho)
+
+    def test_from_rho_validation(self):
+        with pytest.raises(ValueError):
+            CostModel.from_rho(0.0)
+        with pytest.raises(ValueError):
+            CostModel.from_rho(1.0, total=-1.0)

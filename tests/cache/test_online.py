@@ -1,0 +1,95 @@
+"""Tests for the on-line policies (extension algorithms)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.model import CostModel, SingleItemView
+from repro.cache.online import (
+    solve_online_always_transfer,
+    solve_online_ski_rental,
+)
+from repro.cache.optimal_dp import optimal_cost
+from repro.cache.schedule import validate_schedule
+
+from ..conftest import cost_models, single_item_views
+
+
+def view(servers, times, m=4, origin=0):
+    return SingleItemView(
+        servers=tuple(servers), times=tuple(times), num_servers=m, origin=origin
+    )
+
+
+class TestSkiRental:
+    def test_empty(self, unit_model):
+        res = solve_online_ski_rental(view([], []), unit_model)
+        assert res.cost == 0.0
+
+    def test_single_request(self, unit_model):
+        res = solve_online_ski_rental(view([1], [1.0]), unit_model)
+        # keeps the origin copy until t=1, transfers
+        assert res.cost == pytest.approx(1.0 + 1.0)
+        assert res.num_transfers == 1
+
+    def test_same_server_run_caches(self, unit_model):
+        res = solve_online_ski_rental(view([0, 0, 0], [1.0, 2.0, 3.0]), unit_model)
+        assert res.num_transfers == 0
+        assert res.cost == pytest.approx(3.0)
+
+    def test_secondary_copy_expires_after_threshold(self):
+        model = CostModel(mu=1.0, lam=2.0)
+        # request at s1, then far-future request at s2: s1's copy should be
+        # dropped after paying at most lam worth of idle caching
+        res = solve_online_ski_rental(view([1, 2], [1.0, 100.0]), model)
+        # s1 idles at most lam/mu = 2 time units beyond its use
+        assert res.cost < 1.0 + 2.0 + 100.0 * 1.0 + 2.0 + 10.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=single_item_views(min_requests=1), model=cost_models())
+    def test_schedule_feasible_and_priced(self, v, model):
+        res = solve_online_ski_rental(v, model)
+        validate_schedule(res.schedule, v)
+        assert res.schedule.cost(model) == pytest.approx(res.cost)
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=single_item_views(), model=cost_models())
+    def test_never_beats_offline_optimal(self, v, model):
+        res = solve_online_ski_rental(v, model, build_schedule=False)
+        assert res.cost >= optimal_cost(v, model) - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=single_item_views(min_requests=1))
+    def test_competitive_ratio_is_moderate(self, v):
+        """Empirical sanity: ski rental stays within 4x of optimal here."""
+        model = CostModel(mu=1.0, lam=1.0)
+        res = solve_online_ski_rental(v, model, build_schedule=False)
+        opt = optimal_cost(v, model)
+        assert res.cost <= 4.0 * opt + 1e-9
+
+
+class TestAlwaysTransfer:
+    def test_cost_formula(self, unit_model):
+        v = view([1, 1, 2], [1.0, 2.0, 3.0])
+        res = solve_online_always_transfer(v, unit_model)
+        # one copy alive over [0, 3] plus transfers at 1.0 and 3.0
+        assert res.cost == pytest.approx(3.0 + 2 * 1.0)
+        assert res.num_transfers == 2
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=single_item_views(min_requests=1), model=cost_models())
+    def test_schedule_feasible_and_priced(self, v, model):
+        res = solve_online_always_transfer(v, model)
+        validate_schedule(res.schedule, v)
+        assert res.schedule.cost(model) == pytest.approx(res.cost)
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=single_item_views(), model=cost_models())
+    def test_dominated_by_offline_optimal(self, v, model):
+        res = solve_online_always_transfer(v, model, build_schedule=False)
+        assert res.cost >= optimal_cost(v, model) - 1e-9
+
+    def test_zero_time_rejected(self, unit_model):
+        with pytest.raises(ValueError, match="strictly positive"):
+            solve_online_always_transfer(view([1], [0.0]), unit_model)

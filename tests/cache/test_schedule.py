@@ -1,0 +1,181 @@
+"""Unit tests for schedules and the independent feasibility validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.model import CostModel, SingleItemView
+from repro.cache.schedule import (
+    CacheInterval,
+    Schedule,
+    ScheduleError,
+    Transfer,
+    validate_schedule,
+)
+
+
+def view(servers, times, m=4, origin=0):
+    return SingleItemView(
+        servers=tuple(servers), times=tuple(times), num_servers=m, origin=origin
+    )
+
+
+class TestAtoms:
+    def test_interval_duration_and_cover(self):
+        iv = CacheInterval(server=1, start=1.0, end=3.0)
+        assert iv.duration == 2.0
+        assert iv.covers(1.0) and iv.covers(3.0) and iv.covers(2.0)
+        assert not iv.covers(3.5)
+
+    def test_interval_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            CacheInterval(server=0, start=2.0, end=1.0)
+
+    def test_zero_length_interval_allowed(self):
+        iv = CacheInterval(server=0, start=1.0, end=1.0)
+        assert iv.duration == 0.0
+
+    def test_transfer_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Transfer(src=1, dst=1, time=2.0)
+
+    def test_transfer_rejects_negative_servers(self):
+        with pytest.raises(ValueError):
+            Transfer(src=-1, dst=0, time=1.0)
+
+
+class TestScheduleCost:
+    def test_cost_formula(self, unit_model):
+        s = Schedule(
+            intervals=(CacheInterval(0, 0.0, 2.0), CacheInterval(1, 1.0, 2.0)),
+            transfers=(Transfer(0, 1, 1.0),),
+        )
+        assert s.cost(unit_model) == pytest.approx(2.0 + 1.0 + 1.0)
+        assert s.num_transfers == 1
+        assert s.total_cache_time == pytest.approx(3.0)
+
+    def test_cost_respects_rates(self):
+        s = Schedule((CacheInterval(0, 0.0, 2.0),), (Transfer(0, 1, 2.0),))
+        m = CostModel(mu=3.0, lam=5.0)
+        assert s.cost(m) == pytest.approx(2 * 3 + 5)
+
+    def test_rate_multiplier_scales_everything(self, unit_model):
+        s = Schedule(
+            (CacheInterval(0, 0.0, 2.0),), (Transfer(0, 1, 2.0),),
+            rate_multiplier=1.6,
+        )
+        assert s.cost(unit_model) == pytest.approx((2 + 1) * 1.6)
+
+    def test_rate_multiplier_validation(self):
+        with pytest.raises(ValueError):
+            Schedule((), (), rate_multiplier=0.0)
+
+    def test_merged_cost_deduplicates_overlap(self, unit_model):
+        s = Schedule(
+            intervals=(CacheInterval(0, 0.0, 3.0), CacheInterval(0, 1.0, 2.0)),
+            transfers=(),
+        )
+        assert s.cost(unit_model) == pytest.approx(4.0)
+        assert s.merged_cost(unit_model) == pytest.approx(3.0)
+
+    def test_merged_cost_disjoint_equals_cost(self, unit_model):
+        s = Schedule(
+            intervals=(CacheInterval(0, 0.0, 1.0), CacheInterval(0, 2.0, 3.0)),
+            transfers=(),
+        )
+        assert s.merged_cost(unit_model) == pytest.approx(s.cost(unit_model))
+
+    def test_with_rate(self, unit_model):
+        s = Schedule((CacheInterval(0, 0.0, 1.0),), ())
+        assert s.with_rate(2.0).cost(unit_model) == pytest.approx(2.0)
+
+
+class TestValidator:
+    def test_valid_simple_schedule(self, unit_model):
+        # origin holds 0 -> 1, transfer to s1 serving the request there
+        v = view([1], [1.0])
+        s = Schedule(
+            intervals=(CacheInterval(0, 0.0, 1.0),),
+            transfers=(Transfer(0, 1, 1.0),),
+        )
+        validate_schedule(s, v)
+
+    def test_unserved_request_rejected(self):
+        v = view([1], [1.0])
+        s = Schedule(intervals=(CacheInterval(0, 0.0, 1.0),), transfers=())
+        with pytest.raises(ScheduleError, match="not served"):
+            validate_schedule(s, v)
+
+    def test_interval_from_nowhere_rejected(self):
+        v = view([1], [1.0])
+        s = Schedule(
+            intervals=(CacheInterval(1, 0.5, 1.0),),  # s1 never received a copy
+            transfers=(),
+        )
+        with pytest.raises(ScheduleError, match="no copy present"):
+            validate_schedule(s, v)
+
+    def test_transfer_without_source_rejected(self):
+        v = view([1], [1.0])
+        s = Schedule(
+            intervals=(),
+            transfers=(Transfer(2, 1, 1.0),),  # s2 has no copy
+        )
+        with pytest.raises(ScheduleError, match="no live copy"):
+            validate_schedule(s, v)
+
+    def test_circular_justification_rejected(self):
+        # two intervals on s2 anchoring each other with no path to origin
+        v = view([], [])
+        s = Schedule(
+            intervals=(CacheInterval(2, 1.0, 3.0), CacheInterval(2, 1.0, 4.0)),
+            transfers=(),
+        )
+        with pytest.raises(ScheduleError, match="no copy present"):
+            validate_schedule(s, v, require_serving=False)
+
+    def test_chained_transfers_same_instant(self):
+        # origin -> s1 -> s2 at the same instant is physically fine
+        v = view([2], [1.0])
+        s = Schedule(
+            intervals=(CacheInterval(0, 0.0, 1.0),),
+            transfers=(Transfer(0, 1, 1.0), Transfer(1, 2, 1.0)),
+        )
+        validate_schedule(s, v)
+
+    def test_request_served_by_cache_interval(self):
+        v = view([0], [2.0])
+        s = Schedule(intervals=(CacheInterval(0, 0.0, 2.0),), transfers=())
+        validate_schedule(s, v)
+
+    def test_interval_before_time_zero_rejected(self):
+        s = Schedule(intervals=(CacheInterval(0, -1.0, 1.0),), transfers=())
+        with pytest.raises(ScheduleError, match="before time zero"):
+            validate_schedule(s, view([], []), require_serving=False)
+
+    def test_transfer_before_time_zero_rejected(self):
+        s = Schedule(intervals=(), transfers=(Transfer(0, 1, -0.5),))
+        with pytest.raises(ScheduleError, match="before time zero"):
+            validate_schedule(s, view([], []), require_serving=False)
+
+    def test_require_serving_false_skips_requests(self):
+        v = view([1], [1.0])
+        s = Schedule(intervals=(), transfers=())
+        validate_schedule(s, v, require_serving=False)  # no raise
+
+    def test_interval_started_by_transfer(self):
+        v = view([1, 1], [1.0, 2.0])
+        s = Schedule(
+            intervals=(
+                CacheInterval(0, 0.0, 1.0),
+                CacheInterval(1, 1.0, 2.0),  # starts where the transfer lands
+            ),
+            transfers=(Transfer(0, 1, 1.0),),
+        )
+        validate_schedule(s, v)
+
+    def test_origin_request_at_time_zero_not_required(self):
+        # requests strictly after zero; origin placement alone serves nothing
+        v = view([0], [1.0])
+        s = Schedule(intervals=(CacheInterval(0, 0.0, 1.0),), transfers=())
+        validate_schedule(s, v)

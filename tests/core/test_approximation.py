@@ -1,0 +1,107 @@
+"""Tests for the approximation-ratio machinery (Theorem 1, Section IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.model import CostModel
+from repro.core.approximation import (
+    RatioCertificate,
+    cut_normalize,
+    lemma1_lower_bound,
+    ratio_certificate,
+)
+from repro.core.dp_greedy import solve_dp_greedy
+from repro.experiments.running_example import running_example_sequence
+from repro.trace.workload import correlated_pair_sequence, random_single_item_view
+
+from ..conftest import cost_models, multi_item_sequences, single_item_views
+
+
+class TestRatioCertificate:
+    def test_bound_is_two_over_alpha(self):
+        cert = RatioCertificate(dpg_cost=1.0, lower_bound=1.0, alpha=0.8)
+        assert cert.bound == pytest.approx(2.5)
+
+    def test_zero_lower_bound_handling(self):
+        assert RatioCertificate(0.0, 0.0, 0.8).ratio == 0.0
+        assert RatioCertificate(1.0, 0.0, 0.8).ratio == float("inf")
+
+    def test_running_example_certificate(self, unit_model):
+        seq = running_example_sequence()
+        cert = ratio_certificate(seq, unit_model, theta=0.4, alpha=0.8)
+        assert cert.satisfied
+        assert cert.ratio <= cert.bound
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=multi_item_sequences(), model=cost_models())
+    def test_theorem1_holds_on_random_instances(self, seq, model):
+        for alpha in (0.4, 0.8):
+            cert = ratio_certificate(seq, model, theta=0.3, alpha=alpha)
+            assert cert.satisfied, (
+                f"ratio {cert.ratio} exceeds bound {cert.bound}"
+            )
+
+    def test_controlled_pair_workloads(self, unit_model):
+        for j in (0.1, 0.4, 0.7):
+            for alpha in (0.2, 0.5, 0.8):
+                seq = correlated_pair_sequence(80, 6, j, seed=5)
+                cert = ratio_certificate(seq, unit_model, theta=0.3, alpha=alpha)
+                assert cert.satisfied
+
+
+class TestLemma1LowerBound:
+    def test_no_packages_bound_is_exact_optimum(self, unit_model):
+        seq = correlated_pair_sequence(40, 4, 0.0, seed=2)
+        res = solve_dp_greedy(seq, unit_model, theta=1.0, alpha=0.8)
+        lb = lemma1_lower_bound(seq, unit_model, res)
+        # without packing DP_Greedy *is* the per-item optimum
+        assert lb == pytest.approx(res.total_cost)
+
+    def test_bound_never_exceeds_dpg_times_bound_inverse(self, unit_model):
+        seq = correlated_pair_sequence(60, 5, 0.5, seed=3)
+        res = solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8)
+        lb = lemma1_lower_bound(seq, unit_model, res)
+        assert lb > 0
+        assert res.total_cost <= (2 / 0.8) * lb + 1e-9
+
+    def test_alpha_scales_package_share(self, unit_model):
+        seq = correlated_pair_sequence(60, 5, 0.6, seed=4)
+        res_hi = solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8)
+        res_lo = solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.4)
+        lb_hi = lemma1_lower_bound(seq, unit_model, res_hi)
+        lb_lo = lemma1_lower_bound(seq, unit_model, res_lo)
+        # both runs pack the pair, so the bounds scale exactly with alpha
+        assert lb_lo == pytest.approx(lb_hi * 0.4 / 0.8)
+
+
+class TestCutNormalize:
+    def test_summary_fields_consistent(self, unit_model):
+        view = random_single_item_view(50, 6, seed=9)
+        summary = cut_normalize(view, unit_model)
+        assert summary.surviving_requests + summary.removed_requests == 50
+        assert summary.greedy_cut <= summary.greedy_raw + 1e-9
+        assert summary.greedy_cut <= summary.greedy_cut_bound * unit_model.lam + 1e-9
+
+    def test_all_short_caches_removed(self, unit_model):
+        # same-server requests packed tightly: every gap costs < lam
+        view = random_single_item_view(10, 1, seed=1, horizon=0.5)
+        summary = cut_normalize(view, unit_model)
+        assert summary.removed_requests == 10
+        assert summary.surviving_requests == 0
+        assert summary.greedy_cut == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=single_item_views(), model=cost_models())
+    def test_cut_cost_within_proof_cap(self, v, model):
+        """After cutting, each survivor costs at most 2*lam (Section IV-B)."""
+        summary = cut_normalize(v, model)
+        cap = 2.0 * model.lam * summary.surviving_requests
+        assert summary.greedy_cut <= cap + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=single_item_views(), model=cost_models())
+    def test_raw_two_approximation_recorded(self, v, model):
+        summary = cut_normalize(v, model)
+        assert summary.greedy_raw <= 2.0 * summary.optimal_raw + 1e-9

@@ -1,0 +1,100 @@
+"""Tests for the physical execution of DP_Greedy plans."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.model import CostModel, RequestSequence
+from repro.core.physical import physical_dp_greedy
+from repro.experiments.running_example import running_example_sequence
+from repro.trace.workload import correlated_pair_sequence
+
+from ..conftest import cost_models, multi_item_sequences
+
+
+class TestRunningExample:
+    def test_no_extension_needed(self, unit_model):
+        """Every ship in the V.C example lands inside the package
+        schedule's coverage, so the ledger is physically exact here."""
+        seq = running_example_sequence()
+        res = physical_dp_greedy(seq, unit_model, theta=0.4, alpha=0.8)
+        assert res.num_ship_decisions == 2  # requests 2.6 and 3.2
+        assert res.num_extended_ships == 0
+        assert res.extension_cost == 0.0
+        assert res.physical_cost == pytest.approx(res.ledger_cost)
+        assert res.ledger_gap == pytest.approx(1.0)
+
+    def test_item_schedules_exist_per_item(self, unit_model):
+        seq = running_example_sequence()
+        res = physical_dp_greedy(seq, unit_model, theta=0.4, alpha=0.8)
+        assert set(res.item_schedules) == {1, 2}
+
+
+class TestLedgerGap:
+    def test_ship_after_last_package_node_pays_keepalive(self):
+        """A single-sided request long after the last co-occurrence node
+        must physically extend the package's life."""
+        model = CostModel(mu=1.0, lam=10.0)  # transfers dear: ship wins
+        seq = RequestSequence(
+            [
+                (0, 1.0, {1, 2}),
+                (1, 9.0, {1}),  # ships the package, 8 time units later
+            ],
+            num_servers=2,
+        )
+        res = physical_dp_greedy(seq, model, theta=0.0, alpha=0.4)
+        assert res.num_ship_decisions == 1
+        assert res.num_extended_ships == 1
+        # keep-alive [1, 9] at package rate 0.8*mu
+        assert res.extension_cost == pytest.approx(0.8 * 8.0)
+        assert res.physical_cost > res.ledger_cost
+
+    def test_chained_ships_extend_incrementally(self):
+        model = CostModel(mu=1.0, lam=10.0)
+        seq = RequestSequence(
+            [
+                (0, 1.0, {1, 2}),
+                (1, 5.0, {1}),
+                (1, 9.0, {2}),
+            ],
+            num_servers=2,
+        )
+        res = physical_dp_greedy(seq, model, theta=0.0, alpha=0.4)
+        assert res.num_extended_ships == 2
+        # [1,5] then [5,9] at rate 0.8 -- anchored on the freshest copy
+        assert res.extension_cost == pytest.approx(0.8 * (4.0 + 4.0))
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(seq=multi_item_sequences(), model=cost_models())
+    def test_physical_never_below_ledger(self, seq, model):
+        res = physical_dp_greedy(seq, model, theta=0.3, alpha=0.8)
+        assert res.physical_cost >= res.ledger_cost - 1e-9
+        assert res.ledger_gap >= 1.0 - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=multi_item_sequences(), model=cost_models())
+    def test_composite_schedules_validate(self, seq, model):
+        """validate=True runs the independent validator over every item's
+        composite schedule -- no exception means the executed plan is
+        physically feasible end to end."""
+        physical_dp_greedy(seq, model, theta=0.2, alpha=0.5, validate=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seq=multi_item_sequences(max_items=3), model=cost_models())
+    def test_groups_mode_also_executes(self, seq, model):
+        physical_dp_greedy(
+            seq, model, theta=0.2, alpha=0.5, packing="groups", validate=True
+        )
+
+    def test_gap_shrinks_with_similarity(self, unit_model):
+        """Denser co-occurrence = wider package coverage = fewer forced
+        keep-alives, so the ledger gap narrows as J grows."""
+        gaps = []
+        for j in (0.2, 0.8):
+            seq = correlated_pair_sequence(200, 8, j, seed=3)
+            res = physical_dp_greedy(seq, unit_model, theta=0.1, alpha=0.3)
+            gaps.append(res.ledger_gap)
+        assert gaps[1] <= gaps[0] + 1e-9

@@ -1,0 +1,121 @@
+"""Tests for Phase-1 correlation statistics (Eq. 4-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.model import RequestSequence
+from repro.correlation.jaccard import (
+    correlation_stats,
+    jaccard_similarity,
+    pair_similarities,
+)
+
+from ..conftest import multi_item_sequences
+
+
+@pytest.fixture
+def example_seq():
+    """The running example: |d1| = |d2| = 5, co-occurrence 3, J = 3/7."""
+    return RequestSequence(
+        [
+            (3, 0.5, {1}),
+            (1, 0.8, {1, 2}),
+            (2, 1.1, {2}),
+            (2, 1.4, {1, 2}),
+            (3, 2.6, {1}),
+            (3, 3.2, {2}),
+            (1, 4.0, {1, 2}),
+        ],
+        num_servers=4,
+    )
+
+
+class TestJaccardSimilarity:
+    def test_running_example_value(self, example_seq):
+        assert jaccard_similarity(example_seq, 1, 2) == pytest.approx(3 / 7)
+
+    def test_self_similarity_is_one(self, example_seq):
+        assert jaccard_similarity(example_seq, 1, 1) == 1.0
+
+    def test_absent_items_have_zero_similarity(self, example_seq):
+        assert jaccard_similarity(example_seq, 1, 99) == 0.0
+
+    def test_disjoint_items(self):
+        seq = RequestSequence([(0, 1.0, {1}), (0, 2.0, {2})], num_servers=1)
+        assert jaccard_similarity(seq, 1, 2) == 0.0
+
+    def test_always_together_is_one(self):
+        seq = RequestSequence([(0, 1.0, {1, 2}), (0, 2.0, {1, 2})], num_servers=1)
+        assert jaccard_similarity(seq, 1, 2) == 1.0
+
+
+class TestCorrelationStats:
+    def test_matrix_matches_direct_computation(self, example_seq):
+        stats = correlation_stats(example_seq)
+        assert stats.similarity(1, 2) == pytest.approx(3 / 7)
+        assert stats.frequency(1, 2) == 3
+        assert stats.counts.tolist() == [5, 5]
+
+    def test_matrix_is_symmetric_with_unit_diagonal(self, example_seq):
+        stats = correlation_stats(example_seq)
+        assert np.allclose(stats.jaccard, stats.jaccard.T)
+        assert np.allclose(np.diag(stats.jaccard), 1.0)
+
+    def test_pairs_by_similarity_is_sorted_and_deterministic(self):
+        seq = RequestSequence(
+            [
+                (0, 1.0, {1, 2}),
+                (0, 2.0, {3, 4}),
+                (0, 3.0, {3, 4}),
+                (0, 4.0, {1}),
+            ],
+            num_servers=1,
+        )
+        pairs = correlation_stats(seq).pairs_by_similarity()
+        js = [j for j, *_ in pairs]
+        assert js == sorted(js, reverse=True)
+        assert pairs[0][1:] == (3, 4)  # J = 1.0 on top
+        # repeated computation gives the same order
+        assert pairs == correlation_stats(seq).pairs_by_similarity()
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=multi_item_sequences())
+    def test_vectorised_matches_scalar(self, seq):
+        stats = correlation_stats(seq)
+        items = stats.items
+        for a in range(len(items)):
+            for b in range(a + 1, len(items)):
+                expected = jaccard_similarity(seq, items[a], items[b])
+                assert stats.jaccard[a, b] == pytest.approx(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=multi_item_sequences())
+    def test_similarity_bounds(self, seq):
+        stats = correlation_stats(seq)
+        assert np.all(stats.jaccard >= 0.0)
+        assert np.all(stats.jaccard <= 1.0 + 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=multi_item_sequences())
+    def test_cooccurrence_bounded_by_counts(self, seq):
+        stats = correlation_stats(seq)
+        co = stats.cooccurrence
+        counts = stats.counts
+        for a in range(len(stats.items)):
+            for b in range(len(stats.items)):
+                assert co[a, b] <= min(counts[a], counts[b])
+
+
+class TestPairSimilarities:
+    def test_dictionary_keys_are_ordered_pairs(self, example_seq):
+        d = pair_similarities(example_seq)
+        assert set(d) == {(1, 2)}
+        assert d[(1, 2)] == pytest.approx(3 / 7)
+
+    def test_index_of_unknown_item_raises(self, example_seq):
+        stats = correlation_stats(example_seq)
+        with pytest.raises(ValueError):
+            stats.index_of(42)

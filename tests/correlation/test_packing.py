@@ -1,0 +1,153 @@
+"""Tests for Phase-1 package selection (Algorithm 1, lines 7-27)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.model import RequestSequence
+from repro.correlation.jaccard import correlation_stats
+from repro.correlation.packing import greedy_group_packing, greedy_pair_packing
+
+from ..conftest import multi_item_sequences
+
+
+def seq_with_pairs(*groups_of_requests):
+    """Build a sequence from (items, repeat) specs at increasing times."""
+    reqs = []
+    t = 0.0
+    for items, repeat in groups_of_requests:
+        for _ in range(repeat):
+            t += 1.0
+            reqs.append((0, t, set(items)))
+    return RequestSequence(reqs, num_servers=1)
+
+
+class TestPairPacking:
+    def test_packs_pair_above_threshold(self):
+        seq = seq_with_pairs(({1, 2}, 6), ({1}, 2), ({2}, 2))  # J = 0.6
+        plan = greedy_pair_packing(correlation_stats(seq), theta=0.3)
+        assert plan.packages == (frozenset({1, 2}),)
+        assert plan.singletons == ()
+        assert plan.similarity[frozenset({1, 2})] == pytest.approx(0.6)
+
+    def test_threshold_is_strict(self):
+        """Line 16 requires J > theta, not >=."""
+        seq = seq_with_pairs(({1, 2}, 3), ({1}, 2), ({2}, 2))  # J = 3/7
+        stats = correlation_stats(seq)
+        j = stats.similarity(1, 2)
+        plan = greedy_pair_packing(stats, theta=j)
+        assert plan.packages == ()
+        assert set(plan.singletons) == {1, 2}
+
+    def test_higher_similarity_pair_wins_contention(self):
+        # d2 is correlated with both d1 (weak) and d3 (strong)
+        seq = seq_with_pairs(
+            ({2, 3}, 8),
+            ({1, 2}, 3),
+            ({1}, 5),
+            ({3}, 1),
+        )
+        stats = correlation_stats(seq)
+        plan = greedy_pair_packing(stats, theta=0.1)
+        assert frozenset({2, 3}) in plan.packages
+        assert plan.singletons == (1,)
+
+    def test_items_engaged_once(self):
+        seq = seq_with_pairs(({1, 2}, 5), ({2, 3}, 5), ({1, 3}, 5))
+        plan = greedy_pair_packing(correlation_stats(seq), theta=0.1)
+        packed = [d for p in plan.packages for d in p]
+        assert len(packed) == len(set(packed))
+
+    def test_all_below_threshold_all_singletons(self):
+        seq = seq_with_pairs(({1}, 3), ({2}, 3), ({3}, 3))
+        plan = greedy_pair_packing(correlation_stats(seq), theta=0.3)
+        assert plan.packages == ()
+        assert set(plan.singletons) == {1, 2, 3}
+
+    def test_theta_validation(self):
+        seq = seq_with_pairs(({1}, 1))
+        stats = correlation_stats(seq)
+        with pytest.raises(ValueError):
+            greedy_pair_packing(stats, theta=1.5)
+
+    def test_plan_helpers(self):
+        seq = seq_with_pairs(({1, 2}, 5), ({3}, 2))
+        plan = greedy_pair_packing(correlation_stats(seq), theta=0.2)
+        assert plan.is_packed(1) and plan.is_packed(2)
+        assert not plan.is_packed(3)
+        assert plan.package_of(1) == frozenset({1, 2})
+        assert plan.package_of(3) == frozenset({3})
+        assert frozenset({3}) in plan.groups
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=multi_item_sequences())
+    def test_partition_property(self, seq):
+        """Packages plus singletons partition the item universe."""
+        stats = correlation_stats(seq)
+        plan = greedy_pair_packing(stats, theta=0.3)
+        covered = sorted(
+            [d for p in plan.packages for d in p] + list(plan.singletons)
+        )
+        assert covered == sorted(seq.items)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seq=multi_item_sequences())
+    def test_packed_pairs_exceed_threshold(self, seq):
+        theta = 0.25
+        stats = correlation_stats(seq)
+        plan = greedy_pair_packing(stats, theta=theta)
+        for pkg in plan.packages:
+            a, b = sorted(pkg)
+            assert stats.similarity(a, b) > theta
+
+
+class TestGroupPacking:
+    def test_forms_triple_when_all_links_strong(self):
+        seq = seq_with_pairs(({1, 2, 3}, 9), ({1}, 1), ({2}, 1), ({3}, 1))
+        plan = greedy_group_packing(correlation_stats(seq), theta=0.3, max_size=3)
+        assert plan.packages == (frozenset({1, 2, 3}),)
+
+    def test_respects_max_size(self):
+        seq = seq_with_pairs(({1, 2, 3, 4}, 10))
+        plan = greedy_group_packing(correlation_stats(seq), theta=0.3, max_size=3)
+        assert all(len(p) <= 3 for p in plan.packages)
+
+    def test_min_linkage_blocks_weak_member(self):
+        # d3 co-occurs with d2 but rarely with d1
+        seq = seq_with_pairs(
+            ({1, 2}, 10),
+            ({2, 3}, 10),
+            ({3}, 1),
+        )
+        stats = correlation_stats(seq)
+        plan = greedy_group_packing(stats, theta=0.4, max_size=3)
+        # J(1,3) = 0 < theta, so d3 cannot join the {1,2} group
+        for pkg in plan.packages:
+            if {1, 2} <= pkg:
+                assert 3 not in pkg
+
+    def test_group_similarity_is_min_linkage(self):
+        seq = seq_with_pairs(({1, 2, 3}, 9), ({1, 2}, 3))
+        plan = greedy_group_packing(correlation_stats(seq), theta=0.3, max_size=3)
+        (pkg,) = plan.packages
+        stats = correlation_stats(seq)
+        expected = min(
+            stats.similarity(1, 2), stats.similarity(1, 3), stats.similarity(2, 3)
+        )
+        assert plan.similarity[pkg] == pytest.approx(expected)
+
+    def test_max_size_validation(self):
+        seq = seq_with_pairs(({1}, 1))
+        with pytest.raises(ValueError):
+            greedy_group_packing(correlation_stats(seq), theta=0.3, max_size=1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=multi_item_sequences())
+    def test_partition_property(self, seq):
+        stats = correlation_stats(seq)
+        plan = greedy_group_packing(stats, theta=0.3, max_size=3)
+        covered = sorted(
+            [d for p in plan.packages for d in p] + list(plan.singletons)
+        )
+        assert covered == sorted(seq.items)

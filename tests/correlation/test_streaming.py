@@ -1,0 +1,85 @@
+"""Tests for streaming correlation statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.model import RequestSequence
+from repro.correlation.jaccard import correlation_stats
+from repro.correlation.streaming import StreamingCorrelation
+
+from ..conftest import multi_item_sequences
+
+
+class TestBasics:
+    def test_empty_state(self):
+        sc = StreamingCorrelation()
+        assert sc.count(1) == 0
+        assert sc.similarity(1, 2) == 0.0
+        assert sc.num_requests == 0
+
+    def test_self_similarity_is_one(self):
+        sc = StreamingCorrelation()
+        sc.observe({1})
+        assert sc.similarity(1, 1) == 1.0
+
+    def test_observe_bare_iterables(self):
+        sc = StreamingCorrelation()
+        sc.observe([1, 2])
+        sc.observe({1})
+        assert sc.count(1) == 2
+        assert sc.cooccurrence(1, 2) == 1
+        assert sc.similarity(1, 2) == pytest.approx(0.5)
+
+    def test_rejects_empty_observation(self):
+        sc = StreamingCorrelation()
+        with pytest.raises(ValueError):
+            sc.observe(set())
+
+    def test_rejects_zero_warmup(self):
+        with pytest.raises(ValueError):
+            StreamingCorrelation(min_observations=0)
+
+    def test_cooccurrence_same_item_rejected(self):
+        sc = StreamingCorrelation()
+        with pytest.raises(ValueError):
+            sc.cooccurrence(3, 3)
+
+    def test_ready_respects_warmup(self):
+        sc = StreamingCorrelation(min_observations=2)
+        sc.observe({1, 2})
+        assert not sc.ready(1, 2)
+        sc.observe({1, 2})
+        assert sc.ready(1, 2)
+
+    def test_hot_pairs_sorted_and_filtered(self):
+        sc = StreamingCorrelation()
+        for _ in range(4):
+            sc.observe({1, 2})
+        sc.observe({3, 4})
+        sc.observe({3})
+        pairs = sc.hot_pairs(theta=0.4)
+        assert pairs[0][1:] == (1, 2)
+        assert all(j > 0.4 for j, *_ in pairs)
+
+
+class TestPrefixEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(seq=multi_item_sequences())
+    def test_matches_batch_statistics_at_every_prefix(self, seq):
+        sc = StreamingCorrelation()
+        for i, r in enumerate(seq, start=1):
+            sc.observe(r)
+            prefix = RequestSequence(
+                seq.requests[:i], seq.num_servers, seq.origin
+            )
+            batch = correlation_stats(prefix)
+            items = batch.items
+            for a_idx in range(len(items)):
+                for b_idx in range(a_idx + 1, len(items)):
+                    a, b = items[a_idx], items[b_idx]
+                    assert sc.similarity(a, b) == pytest.approx(
+                        batch.jaccard[a_idx, b_idx]
+                    )
+                    assert sc.cooccurrence(a, b) == batch.cooccurrence[a_idx, b_idx]

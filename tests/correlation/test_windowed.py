@@ -1,0 +1,125 @@
+"""Tests for windowed (temporal) correlation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.model import CostModel, Request, RequestSequence
+from repro.correlation.jaccard import jaccard_similarity
+from repro.correlation.windowed import (
+    greedy_pair_packing_from_dict,
+    windowed_jaccard,
+    windowed_pair_similarities,
+)
+
+from ..conftest import multi_item_sequences
+
+
+def seq_of(*triples, m=2):
+    return RequestSequence(
+        [Request(s, t, frozenset(i)) for s, t, i in triples], num_servers=m
+    )
+
+
+class TestWindowedJaccard:
+    def test_window_zero_reduces_to_request_jaccard(self):
+        seq = seq_of(
+            (0, 1.0, {1, 2}), (0, 2.0, {1}), (0, 3.0, {2}), (0, 4.0, {1, 2})
+        )
+        assert windowed_jaccard(seq, 1, 2, 0.0) == pytest.approx(
+            jaccard_similarity(seq, 1, 2)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=multi_item_sequences())
+    def test_window_zero_reduction_property(self, seq):
+        items = sorted(seq.items)
+        for a_idx, a in enumerate(items):
+            for b in items[a_idx + 1 :]:
+                assert windowed_jaccard(seq, a, b, 0.0) == pytest.approx(
+                    jaccard_similarity(seq, a, b)
+                )
+
+    def test_temporal_pattern_invisible_to_request_jaccard(self):
+        """Text at t, video at t+0.5: request-level J = 0, windowed J = 1."""
+        seq = seq_of(
+            (0, 1.0, {1}), (0, 1.5, {2}),
+            (0, 5.0, {1}), (0, 5.5, {2}),
+        )
+        assert jaccard_similarity(seq, 1, 2) == 0.0
+        assert windowed_jaccard(seq, 1, 2, 0.5) == pytest.approx(1.0)
+        assert windowed_jaccard(seq, 1, 2, 0.4) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seq=multi_item_sequences(),
+        w1=st.floats(0.0, 2.0),
+        w2=st.floats(0.0, 2.0),
+    )
+    def test_monotone_in_window(self, seq, w1, w2):
+        lo, hi = sorted((w1, w2))
+        items = sorted(seq.items)
+        if len(items) < 2:
+            return
+        a, b = items[0], items[1]
+        assert windowed_jaccard(seq, a, b, lo) <= windowed_jaccard(
+            seq, a, b, hi
+        ) + 1e-12
+
+    def test_bounds_and_self(self):
+        seq = seq_of((0, 1.0, {1}), (0, 2.0, {2}))
+        assert windowed_jaccard(seq, 1, 1, 1.0) == 1.0
+        assert 0.0 <= windowed_jaccard(seq, 1, 2, 10.0) <= 1.0
+
+    def test_absent_pair_is_zero(self):
+        seq = seq_of((0, 1.0, {1}))
+        assert windowed_jaccard(seq, 7, 8, 5.0) == 0.0
+
+    def test_negative_window_rejected(self):
+        seq = seq_of((0, 1.0, {1}))
+        with pytest.raises(ValueError):
+            windowed_jaccard(seq, 1, 2, -1.0)
+
+
+class TestWindowedPlanning:
+    def test_pair_similarities_covers_all_pairs(self):
+        seq = seq_of((0, 1.0, {1}), (0, 1.2, {2}), (0, 2.0, {3}))
+        sims = windowed_pair_similarities(seq, 0.5)
+        assert set(sims) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_packing_from_windowed_scores(self):
+        seq = seq_of(
+            (0, 1.0, {1}), (0, 1.2, {2}),
+            (0, 3.0, {1}), (0, 3.1, {2}),
+            (0, 9.0, {3}),
+        )
+        sims = windowed_pair_similarities(seq, 0.5)
+        plan = greedy_pair_packing_from_dict(sims, sorted(seq.items), theta=0.5)
+        assert plan.packages == (frozenset({1, 2}),)
+        assert plan.singletons == (3,)
+
+    def test_windowed_plan_feeds_dp_greedy(self, unit_model):
+        from repro.core.dp_greedy import solve_dp_greedy
+
+        seq = seq_of(
+            (0, 1.0, {1}), (1, 1.2, {2}),
+            (0, 3.0, {1}), (1, 3.1, {2}),
+            (0, 5.0, {1, 2}),
+        )
+        sims = windowed_pair_similarities(seq, 0.5)
+        plan = greedy_pair_packing_from_dict(sims, sorted(seq.items), theta=0.5)
+        res = solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8, plan=plan)
+        assert res.plan.packages == (frozenset({1, 2}),)
+        assert res.total_cost > 0
+
+    def test_dict_packing_is_deterministic(self):
+        sims = {(1, 2): 0.5, (3, 4): 0.5, (1, 3): 0.5}
+        a = greedy_pair_packing_from_dict(sims, [1, 2, 3, 4], theta=0.1)
+        b = greedy_pair_packing_from_dict(sims, [1, 2, 3, 4], theta=0.1)
+        assert a.packages == b.packages
+
+    def test_dict_packing_theta_validation(self):
+        with pytest.raises(ValueError):
+            greedy_pair_packing_from_dict({}, [], theta=2.0)

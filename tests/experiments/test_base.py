@@ -1,0 +1,54 @@
+"""Tests for the ExperimentResult infrastructure."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.base import ExperimentResult
+
+
+def make_result() -> ExperimentResult:
+    res = ExperimentResult(
+        experiment_id="demo",
+        title="Demo experiment",
+        params={"n": 10},
+        xlabel="x",
+        ylabel="y",
+    )
+    res.rows = [{"x": 1, "y": 2.0}, {"x": 2, "y": 4.0}]
+    res.series = {"curve": [(1.0, 2.0), (2.0, 4.0)]}
+    res.notes = ["hello"]
+    return res
+
+
+class TestReport:
+    def test_report_contains_everything(self):
+        text = make_result().report()
+        assert "demo" in text
+        assert "n=10" in text
+        assert "curve" in text
+        assert "note: hello" in text
+
+    def test_table_renders_rows(self):
+        assert "4.0000" in make_result().table()
+
+    def test_chart_empty_when_no_series(self):
+        res = ExperimentResult(experiment_id="e", title="t")
+        assert res.chart() == ""
+        assert "== e" in res.report()
+
+
+class TestSave:
+    def test_save_writes_csv_and_report(self, tmp_path: Path):
+        res = make_result()
+        out = res.save(tmp_path / "results")
+        csv = (out / "demo.csv").read_text()
+        assert csv.splitlines()[0] == "x,y"
+        report = (out / "demo.txt").read_text()
+        assert "Demo experiment" in report
+
+    def test_save_without_rows_only_report(self, tmp_path: Path):
+        res = ExperimentResult(experiment_id="e", title="t")
+        out = res.save(tmp_path)
+        assert not (out / "e.csv").exists()
+        assert (out / "e.txt").exists()

@@ -1,0 +1,41 @@
+"""Tests for the capacity-vs-cost contrast study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_capacity_study
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_capacity_study(n_requests=300, capacities=(1, 2, 4, 8))
+
+
+class TestCapacityStudy:
+    def test_hit_ratio_rises_with_capacity(self, res):
+        lru = [r for r in res.rows if r["policy"] == "lru"]
+        ratios = [r["hit_ratio"] for r in lru]
+        assert ratios == sorted(ratios)
+
+    def test_monetary_cost_rises_with_capacity(self, res):
+        """The paper's motivating tension: bigger caches serve hits better
+        but pay more under cost-oriented billing."""
+        lru = [r for r in res.rows if r["policy"] == "lru"]
+        costs = [r["monetary_cost"] for r in lru]
+        assert costs[-1] > costs[0]
+
+    def test_classical_policies_pay_more_than_cost_optimal(self, res):
+        for row in res.rows:
+            assert row["vs_cost_optimal"] >= 1.0
+
+    def test_every_policy_reported_at_every_capacity(self, res):
+        assert len(res.rows) == 4 * 4
+
+    def test_dp_greedy_at_or_below_cost_optimal_denominator(self, res):
+        # DP_Greedy may pack; it never exceeds the non-packing optimum by
+        # more than the packing premium on this workload
+        assert res.params["dp_greedy"] <= 1.05 * res.params["cost_oriented_optimal"]
+
+    def test_summary_note_present(self, res):
+        assert any("hit ratio" in n for n in res.notes)

@@ -1,0 +1,96 @@
+"""Tests for the extension experiments (on-line study, ablations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    run_online_study,
+    run_option_ablation,
+    run_packing_ablation,
+    run_theta_ablation,
+)
+
+
+class TestOnlineStudy:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_online_study(
+            jaccards=(0.1, 0.4, 0.7), n_requests=150, repeats=1, num_servers=25
+        )
+
+    def test_online_never_beats_offline(self, res):
+        for row in res.rows:
+            assert row["online_over_offline"] >= 1.0 - 1e-9
+
+    def test_premium_is_bounded(self, res):
+        assert res.params["worst_online_premium"] < 4.0
+
+    def test_no_packing_at_low_similarity_matches_ski(self, res):
+        low = res.rows[0]
+        assert low["online_dp_greedy"] == pytest.approx(
+            low["online_ski_rental_nonpacking"], rel=1e-6
+        )
+
+    def test_small_alpha_online_packing_wins(self):
+        res = run_online_study(
+            jaccards=(0.7,), n_requests=150, repeats=1, num_servers=25, alpha=0.3
+        )
+        row = res.rows[0]
+        assert row["online_dp_greedy"] < row["online_ski_rental_nonpacking"]
+
+
+class TestThetaAblation:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_theta_ablation(n_per_pair=80)
+
+    def test_package_count_monotone_in_theta(self, res):
+        counts = [r["packages"] for r in res.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_extremes_are_suboptimal(self, res):
+        costs = {r["theta"]: r["ave_cost"] for r in res.rows}
+        best = min(costs.values())
+        # never-pack leaves the discount unused
+        assert costs[1.0] > best
+        assert 0.0 < res.params["best_theta"] < 1.0
+
+    def test_theta_one_packs_nothing(self, res):
+        assert res.rows[-1]["packages"] == 0
+
+
+class TestOptionAblation:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_option_ablation(n_requests=150)
+
+    def test_full_option_set_is_never_worse(self, res):
+        for row in res.rows:
+            full = row["all options"]
+            for k, v in row.items():
+                if k not in ("alpha", "all options"):
+                    assert full <= v + 1e-9
+
+    def test_package_option_matters_most_at_small_alpha(self, res):
+        by_alpha = {r["alpha"]: r for r in res.rows}
+        damage_small = (
+            by_alpha[0.2]["no package option"] - by_alpha[0.2]["all options"]
+        )
+        damage_large = (
+            by_alpha[0.8]["no package option"] - by_alpha[0.8]["all options"]
+        )
+        assert damage_small > damage_large
+
+
+class TestPackingAblation:
+    def test_ranking_is_complete_and_sorted(self):
+        res = run_packing_ablation(n_requests=200)
+        assert len(res.rows) == 4
+        costs = [r["ave_cost"] for r in res.rows]
+        assert costs == sorted(costs)
+
+    def test_packing_beats_no_packing_on_correlated_zipf(self):
+        res = run_packing_ablation(n_requests=200, alpha=0.5, cooccurrence=0.6)
+        by_name = {r["strategy"]: r["ave_cost"] for r in res.rows}
+        assert by_name["pairs (Algorithm 1)"] < by_name["no packing (Optimal)"]

@@ -1,0 +1,31 @@
+"""Tests for the homogeneity-penalty study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_hetero_study
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_hetero_study(trials=6, spreads=(0.0, 0.5, 1.0))
+
+
+class TestHeteroStudy:
+    def test_zero_spread_plan_is_exact(self, res):
+        assert res.rows[0]["homogeneous_plan_vs_opt"] == pytest.approx(1.0)
+
+    def test_penalty_grows_with_spread(self, res):
+        ratios = [r["homogeneous_plan_vs_opt"] for r in res.rows]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 1.0
+
+    def test_all_ratios_at_least_one(self, res):
+        for row in res.rows:
+            assert row["homogeneous_plan_vs_opt"] >= 1.0 - 1e-9
+            assert row["hetero_greedy_vs_opt"] >= 1.0 - 1e-9
+
+    def test_series_present(self, res):
+        assert "rate-blind exact plan" in res.series
+        assert "rate-aware greedy" in res.series

@@ -1,0 +1,38 @@
+"""Tests for the ledger-gap study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_ledger_gap
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_ledger_gap(
+        n_requests=150, alphas=(0.2, 0.8), jaccards=(0.1, 0.5), num_servers=15
+    )
+
+
+class TestLedgerGap:
+    def test_gap_never_below_one(self, res):
+        for row in res.rows:
+            assert row["gap"] >= 1.0 - 1e-9
+            assert row["physical_cost"] >= row["ledger_cost"] - 1e-9
+
+    def test_extended_ships_bounded_by_ships(self, res):
+        for row in res.rows:
+            assert 0 <= row["extended_ships"] <= row["ships"]
+
+    def test_ships_decline_with_alpha(self, res):
+        """The ship option wins the greedy min less often as it gets
+        more expensive."""
+        by_key = {(r["alpha"], r["jaccard"]): r["ships"] for r in res.rows}
+        for j in (0.1, 0.5):
+            assert by_key[(0.8, j)] <= by_key[(0.2, j)]
+
+    def test_gap_modest_on_realistic_workloads(self, res):
+        assert res.params["worst_gap"] < 1.1
+
+    def test_rows_cover_the_grid(self, res):
+        assert len(res.rows) == 4

@@ -1,0 +1,36 @@
+"""Tests for the one-command report generator."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import run_report
+
+
+class TestRunReport:
+    def test_subset_report(self, tmp_path: Path):
+        path = run_report(
+            tmp_path, quick=True, only=["running_example", "fig09"]
+        )
+        assert path.name == "REPORT.md"
+        text = path.read_text()
+        assert "running_example" in text
+        assert "fig09" in text
+        assert "oracle-certified" in text
+        # per-experiment artefacts sit next to the report
+        assert (tmp_path / "running_example.csv").exists()
+        assert (tmp_path / "fig09.txt").exists()
+
+    def test_headline_table_formatted(self, tmp_path: Path):
+        path = run_report(tmp_path, quick=True, only=["running_example"])
+        lines = path.read_text().splitlines()
+        header = [l for l in lines if l.startswith("| experiment |")]
+        assert header
+        row = [l for l in lines if l.startswith("| running_example |")]
+        assert row and "9.6" in row[0]
+
+    def test_notes_included(self, tmp_path: Path):
+        path = run_report(tmp_path, quick=True, only=["running_example"])
+        assert "- greedy single-sided costs" in path.read_text()

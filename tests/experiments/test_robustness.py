@@ -1,0 +1,46 @@
+"""Tests for the prediction-robustness study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_robustness
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_robustness(
+        n_requests=200, error_rates=(0.0, 0.1, 0.3, 0.75), num_servers=25
+    )
+
+
+class TestRobustness:
+    def test_zero_error_has_no_penalty(self, res):
+        row = res.rows[0]
+        assert row["error_rate"] == 0.0
+        assert row["cost_penalty"] == pytest.approx(1.0)
+        assert row["plan_agreement"] == 1.0
+
+    def test_moderate_error_keeps_the_plan(self, res):
+        """At the paper's ~7-10% error the packing decision is untouched."""
+        row = next(r for r in res.rows if r["error_rate"] == 0.1)
+        assert row["plan_agreement"] == 1.0
+        assert row["cost_penalty"] == pytest.approx(1.0)
+
+    def test_observed_jaccard_deflates_with_error(self, res):
+        js = [r["predicted_jaccard"] for r in res.rows]
+        assert js == sorted(js, reverse=True)
+
+    def test_heavy_error_flips_the_plan(self, res):
+        """Once the observed J falls below theta the plan stops packing."""
+        row = res.rows[-1]
+        assert row["error_rate"] == 0.75
+        assert row["predicted_jaccard"] < 0.3
+        assert row["plan_agreement"] == 0.0
+
+    def test_markov_accuracy_reported(self, res):
+        acc = res.params["markov_next_zone_accuracy"]
+        assert 0.0 < acc < 1.0
+
+    def test_penalty_stays_bounded(self, res):
+        assert res.params["worst_cost_penalty"] < 1.5

@@ -1,0 +1,40 @@
+"""Tests for the full-trace end-to-end study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_trace_study
+from repro.trace.mobility import TaxiTraceConfig, generate_taxi_trace
+
+
+@pytest.fixture(scope="module")
+def res():
+    trace = generate_taxi_trace(
+        TaxiTraceConfig(num_taxis=8, duration=300.0, request_rate=0.4, seed=11)
+    )
+    return run_trace_study(trace=trace, alphas=(0.2, 0.5, 0.8))
+
+
+class TestTraceStudy:
+    def test_packages_form_on_the_trace(self, res):
+        assert res.params["packages_formed"] >= 1
+
+    def test_optimal_is_alpha_invariant(self, res):
+        vals = {row["optimal"] for row in res.rows}
+        assert len(vals) == 1
+
+    def test_package_served_degrades_with_alpha(self, res):
+        costs = [row["package_served"] for row in res.rows]
+        assert costs == sorted(costs)
+
+    def test_dp_greedy_never_worse_than_package_served(self, res):
+        for row in res.rows:
+            assert row["dp_greedy"] <= row["package_served"] + 1e-9
+
+    def test_dp_greedy_wins_at_small_alpha(self, res):
+        row = res.rows[0]
+        assert row["dp_greedy"] < row["optimal"]
+
+    def test_notes_name_best_algorithms(self, res):
+        assert any("best algorithm" in n for n in res.notes)

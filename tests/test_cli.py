@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+
+class TestDemo:
+    def test_demo_prints_running_example(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "running_example" in out
+        assert "paper" in out
+
+
+class TestRun:
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_quick_run_writes_artifacts(self, tmp_path: Path, capsys):
+        out_dir = tmp_path / "res"
+        assert main(["run", "fig09", "--out", str(out_dir), "--quick"]) == 0
+        assert (out_dir / "fig09.csv").exists()
+        assert (out_dir / "fig09.txt").exists()
+        assert "fig09" in capsys.readouterr().out
+
+    def test_quick_ratio_study(self, capsys):
+        assert main(["run", "ratio_study", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem_bound" in out or "ratio" in out
+
+
+class TestSchedule:
+    def test_renders_both_schedules(self, capsys):
+        assert main(["schedule", "--n", "6", "--servers", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal off-line schedule" in out
+        assert "simple greedy schedule" in out
+        assert "greedy / optimal" in out
+
+    def test_custom_rates(self, capsys):
+        assert main(
+            ["schedule", "--n", "4", "--servers", "2", "--mu", "2.0",
+             "--lam", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cost" in out
+
+
+class TestSolve:
+    def test_solve_a_saved_trace(self, tmp_path, capsys):
+        from repro.trace import correlated_pair_sequence, save_sequence
+
+        path = tmp_path / "trace.csv"
+        save_sequence(path, correlated_pair_sequence(40, 5, 0.5, seed=2))
+        assert main(["solve", str(path), "--alpha", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "DP_Greedy" in out
+        assert "Package_Served" in out
+        assert "packages: [[1, 2]]" in out
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_parser_knows_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig12", "--quick"])
+        assert args.experiment == "fig12"
+        assert args.quick

@@ -1,0 +1,66 @@
+"""Smoke tests keeping every example runnable and on-message.
+
+Each example is executed as a real subprocess (the way a user runs it)
+and its output is checked for the takeaway it exists to demonstrate.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart_walks_the_running_example(self):
+        out = run_example("quickstart.py")
+        assert "J(d1, d2) = 0.4286" in out
+        assert "packages formed: [[1, 2]]" in out
+        assert "DP_Greedy total cost : 15.60" in out
+
+    def test_taxi_fleet_compares_three_algorithms(self):
+        out = run_example("taxi_fleet.py")
+        assert "DP_Greedy" in out
+        assert "Package_Served" in out
+        assert "top correlated pairs" in out
+        assert "scale:" in out  # the Fig. 9 heatmap
+
+    def test_news_page_shows_group_packing_win(self):
+        out = run_example("news_page.py")
+        assert "DP_Greedy (3-item groups)" in out
+        assert "saves" in out
+
+    def test_online_vs_offline_orders_policies(self):
+        out = run_example("online_vs_offline.py")
+        assert "off-line optimal (DP)" in out
+        assert "on-line ski rental" in out
+        # the optimal row is normalised to 1.0
+        assert "1.0000" in out
+
+    def test_cost_vs_capacity_shows_the_tension(self):
+        out = run_example("cost_vs_capacity.py")
+        assert "hit_ratio" in out
+        assert "cost-oriented optimal" in out
+        assert "takeaway" in out
+
+    def test_robust_planning_shows_the_cliff(self):
+        out = run_example("robust_planning.py")
+        assert "Markov next-zone accuracy" in out
+        assert "plan packs?" in out
+        assert "yes" in out and "no" in out
+        assert "takeaway" in out

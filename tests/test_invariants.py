@@ -1,0 +1,155 @@
+"""Cross-cutting invariants of the whole library.
+
+These properties hold for *every* algorithm simultaneously and pin down
+the model semantics: symmetry under server relabelling, the time/rate
+gauge (stretch time by c and divide mu by c -- nothing changes), uniform
+rate scaling, and the monotone effect of the discount factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.greedy import solve_greedy
+from repro.cache.model import CostModel, Request, RequestSequence, SingleItemView
+from repro.cache.optimal_dp import optimal_cost
+from repro.core.baselines import solve_optimal_nonpacking, solve_package_served
+from repro.core.dp_greedy import solve_dp_greedy
+
+from .conftest import cost_models, multi_item_sequences, single_item_views
+
+
+def _relabel_view(v: SingleItemView, perm):
+    return SingleItemView(
+        servers=tuple(perm[s] for s in v.servers),
+        times=v.times,
+        num_servers=v.num_servers,
+        origin=perm[v.origin],
+    )
+
+
+def _relabel_seq(seq: RequestSequence, perm):
+    return RequestSequence(
+        tuple(Request(perm[r.server], r.time, r.items) for r in seq),
+        seq.num_servers,
+        perm[seq.origin],
+    )
+
+
+def _stretch_view(v: SingleItemView, c: float):
+    return SingleItemView(
+        servers=v.servers,
+        times=tuple(t * c for t in v.times),
+        num_servers=v.num_servers,
+        origin=v.origin,
+    )
+
+
+class TestServerRelabelling:
+    """The homogeneous model has no distinguished servers: any
+    permutation of the server ids leaves every cost unchanged."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=single_item_views(), model=cost_models(), shift=st.integers(1, 5))
+    def test_optimal_is_permutation_invariant(self, v, model, shift):
+        perm = {s: (s + shift) % v.num_servers for s in range(v.num_servers)}
+        assert optimal_cost(_relabel_view(v, perm), model) == pytest.approx(
+            optimal_cost(v, model)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(v=single_item_views(), model=cost_models(), shift=st.integers(1, 5))
+    def test_greedy_is_permutation_invariant(self, v, model, shift):
+        perm = {s: (s + shift) % v.num_servers for s in range(v.num_servers)}
+        a = solve_greedy(v, model, build_schedule=False).cost
+        b = solve_greedy(_relabel_view(v, perm), model, build_schedule=False).cost
+        assert a == pytest.approx(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=multi_item_sequences(), model=cost_models(), shift=st.integers(1, 3))
+    def test_dp_greedy_is_permutation_invariant(self, seq, model, shift):
+        perm = {s: (s + shift) % seq.num_servers for s in range(seq.num_servers)}
+        a = solve_dp_greedy(seq, model, theta=0.3, alpha=0.8).total_cost
+        b = solve_dp_greedy(
+            _relabel_seq(seq, perm), model, theta=0.3, alpha=0.8
+        ).total_cost
+        assert a == pytest.approx(b)
+
+
+class TestTimeGauge:
+    """Stretching time by ``c`` while dividing ``mu`` by ``c`` is a pure
+    change of units: every cost is unchanged."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        v=single_item_views(),
+        model=cost_models(),
+        c=st.sampled_from([0.5, 2.0, 10.0]),
+    )
+    def test_optimal_gauge_invariance(self, v, model, c):
+        gauged = CostModel(mu=model.mu / c, lam=model.lam)
+        assert optimal_cost(_stretch_view(v, c), gauged) == pytest.approx(
+            optimal_cost(v, model)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        v=single_item_views(),
+        model=cost_models(),
+        c=st.sampled_from([0.5, 2.0, 10.0]),
+    )
+    def test_greedy_gauge_invariance(self, v, model, c):
+        gauged = CostModel(mu=model.mu / c, lam=model.lam)
+        a = solve_greedy(v, model, build_schedule=False).cost
+        b = solve_greedy(_stretch_view(v, c), gauged, build_schedule=False).cost
+        assert a == pytest.approx(b)
+
+
+class TestRateScaling:
+    @settings(max_examples=40, deadline=None)
+    @given(seq=multi_item_sequences(), model=cost_models())
+    def test_dp_greedy_scales_linearly(self, seq, model):
+        base = solve_dp_greedy(seq, model, theta=0.3, alpha=0.8).total_cost
+        doubled = solve_dp_greedy(
+            seq, model.scaled(2.0), theta=0.3, alpha=0.8
+        ).total_cost
+        assert doubled == pytest.approx(2.0 * base)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=multi_item_sequences(), model=cost_models())
+    def test_baselines_scale_linearly(self, seq, model):
+        a = solve_optimal_nonpacking(seq, model).total_cost
+        b = solve_optimal_nonpacking(seq, model.scaled(3.0)).total_cost
+        assert b == pytest.approx(3.0 * a)
+
+
+class TestAlphaMonotonicity:
+    """With the plan fixed (theta = 0 packs by J alone, independent of
+    alpha), every package-related charge is proportional to alpha, so
+    DP_Greedy's total is non-decreasing in alpha."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=multi_item_sequences(), model=cost_models())
+    def test_dpg_cost_nondecreasing_in_alpha(self, seq, model):
+        costs = [
+            solve_dp_greedy(seq, model, theta=0.0, alpha=a).total_cost
+            for a in (0.2, 0.5, 0.8, 1.0)
+        ]
+        for lo, hi in zip(costs, costs[1:]):
+            assert lo <= hi + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=multi_item_sequences(), model=cost_models())
+    def test_package_served_strictly_proportional_parts(self, seq, model):
+        """Package_Served's packaged share is exactly linear in alpha."""
+        a = solve_package_served(seq, model, theta=0.0, alpha=0.4)
+        b = solve_package_served(seq, model, theta=0.0, alpha=0.8)
+        # singleton shares are alpha-independent; packaged shares double
+        for grp, cost_a in a.per_group.items():
+            cost_b = b.per_group[grp]
+            if len(grp) == 1:
+                assert cost_b == pytest.approx(cost_a)
+            else:
+                assert cost_b == pytest.approx(2.0 * cost_a)

@@ -1,0 +1,63 @@
+"""Tests for the diurnal (day/night commute) workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.workload import diurnal_workload
+
+
+class TestDiurnalWorkload:
+    def test_shape_and_validity(self):
+        seq = diurnal_workload(300, 20, 8, seed=1)
+        assert len(seq) == 300
+        times = seq.times
+        assert times[0] > 0
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert all(0 <= s < 20 for s in seq.servers)
+
+    def test_daytime_concentration(self):
+        seq = diurnal_workload(600, 20, 8, seed=2, peak_sharpness=2.0)
+        hours = np.array(seq.times) % 24.0
+        day_share = ((hours > 6) & (hours < 18)).mean()
+        assert day_share > 0.7  # uniform would give 0.5
+
+    def test_commute_pattern(self):
+        """Daytime requests land in the business block (high indices)."""
+        seq = diurnal_workload(600, 20, 8, seed=3, commute_split=0.5)
+        hours = np.array(seq.times) % 24.0
+        servers = np.array(seq.servers)
+        day = (hours / 24.0 > 0.25) & (hours / 24.0 < 0.75)
+        assert np.all(servers[day] >= 10)
+        assert np.all(servers[~day] < 10)
+
+    def test_deterministic(self):
+        a = diurnal_workload(100, 10, 4, seed=9)
+        b = diurnal_workload(100, 10, 4, seed=9)
+        assert a.requests == b.requests
+
+    def test_partner_cooccurrence_present(self):
+        from repro.correlation.jaccard import jaccard_similarity
+
+        seq = diurnal_workload(800, 10, 4, seed=4, cooccurrence=0.5)
+        assert jaccard_similarity(seq, 0, 1) > 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_workload(-1, 10, 4)
+        with pytest.raises(ValueError):
+            diurnal_workload(10, 10, 0)
+        with pytest.raises(ValueError):
+            diurnal_workload(10, 10, 4, days=0)
+        with pytest.raises(ValueError):
+            diurnal_workload(10, 10, 4, cooccurrence=1.5)
+        with pytest.raises(ValueError):
+            diurnal_workload(10, 10, 4, commute_split=1.0)
+
+    def test_runs_through_dp_greedy(self, unit_model):
+        from repro.core.dp_greedy import solve_dp_greedy
+
+        seq = diurnal_workload(200, 12, 6, seed=5, cooccurrence=0.5)
+        res = solve_dp_greedy(seq, unit_model, theta=0.2, alpha=0.7)
+        assert res.total_cost > 0

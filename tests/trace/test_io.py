@@ -1,0 +1,78 @@
+"""Tests for trace CSV persistence."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.trace.io import (
+    load_sequence,
+    save_sequence,
+    sequence_from_csv,
+    sequence_to_csv,
+)
+from repro.trace.workload import correlated_pair_sequence, zipf_item_workload
+
+
+class TestRoundTrip:
+    def test_pair_sequence_round_trips_exactly(self):
+        seq = correlated_pair_sequence(60, 7, 0.4, seed=3)
+        back = sequence_from_csv(sequence_to_csv(seq))
+        assert back.requests == seq.requests
+        assert back.num_servers == seq.num_servers
+        assert back.origin == seq.origin
+
+    def test_multi_item_round_trip(self):
+        seq = zipf_item_workload(80, 5, 6, seed=4, cooccurrence=0.4)
+        back = sequence_from_csv(sequence_to_csv(seq))
+        assert back.requests == seq.requests
+
+    def test_file_round_trip(self, tmp_path: Path):
+        seq = correlated_pair_sequence(20, 4, 0.5, seed=5)
+        path = save_sequence(tmp_path / "deep" / "trace.csv", seq)
+        assert path.exists()
+        assert load_sequence(path).requests == seq.requests
+
+    def test_empty_sequence(self):
+        from repro.cache.model import RequestSequence
+
+        seq = RequestSequence([], num_servers=4, origin=2)
+        back = sequence_from_csv(sequence_to_csv(seq))
+        assert len(back) == 0
+        assert back.num_servers == 4
+        assert back.origin == 2
+
+
+class TestParsing:
+    def test_overrides_beat_header(self):
+        seq = correlated_pair_sequence(10, 3, 0.5, seed=6)
+        back = sequence_from_csv(
+            sequence_to_csv(seq), num_servers=10, origin=1
+        )
+        assert back.num_servers == 10
+        assert back.origin == 1
+
+    def test_headerless_metadata_inferred(self):
+        text = "server,time,items\n2,1.5,1|3\n0,2.5,2\n"
+        seq = sequence_from_csv(text)
+        assert seq.num_servers == 3  # max server + 1
+        assert seq.origin == 0
+        assert seq[0].items == {1, 3}
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            sequence_from_csv("a,b,c\n1,2,3\n")
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            sequence_from_csv("server,time,items\n1,2\n")
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError, match="no items"):
+            sequence_from_csv("server,time,items\n1,2.0,\n")
+
+    def test_float_times_survive_repr_precision(self):
+        text = "server,time,items\n0,0.30000000000000004,1\n"
+        seq = sequence_from_csv(text)
+        assert seq[0].time == 0.30000000000000004

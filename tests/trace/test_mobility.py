@@ -1,0 +1,92 @@
+"""Tests for the synthetic taxi-trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.correlation.jaccard import correlation_stats
+from repro.trace.mobility import TaxiTraceConfig, generate_taxi_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    cfg = TaxiTraceConfig(
+        num_taxis=6, duration=200.0, request_rate=0.4, seed=7
+    )
+    return generate_taxi_trace(cfg)
+
+
+class TestConfigValidation:
+    def test_rejects_zero_taxis(self):
+        with pytest.raises(ValueError):
+            TaxiTraceConfig(num_taxis=0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            TaxiTraceConfig(duration=-1.0)
+        with pytest.raises(ValueError):
+            TaxiTraceConfig(request_rate=0.0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            TaxiTraceConfig(hotspot_fraction=1.5)
+        with pytest.raises(ValueError):
+            TaxiTraceConfig(cooccurrence_probs=(0.5, 1.2))
+
+
+class TestGeneratedTrace:
+    def test_sequence_is_valid(self, small_trace):
+        seq = small_trace.sequence
+        assert len(seq) > 0
+        times = seq.times
+        assert times[0] > 0
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert all(0 <= r.server < small_trace.grid.num_zones for r in seq)
+
+    def test_items_are_taxis(self, small_trace):
+        assert small_trace.sequence.items <= set(range(6))
+
+    def test_coordinates_aligned_with_requests(self, small_trace):
+        assert len(small_trace.xs) == len(small_trace.sequence)
+        x0, y0, x1, y1 = small_trace.grid.bbox
+        assert np.all(small_trace.xs >= x0) and np.all(small_trace.xs <= x1)
+        assert np.all(small_trace.ys >= y0) and np.all(small_trace.ys <= y1)
+
+    def test_zone_histogram_totals(self, small_trace):
+        hist = small_trace.zone_histogram()
+        assert hist.sum() == len(small_trace.sequence)
+
+    def test_deterministic_per_seed(self):
+        cfg = TaxiTraceConfig(num_taxis=4, duration=100.0, seed=11)
+        a = generate_taxi_trace(cfg)
+        b = generate_taxi_trace(cfg)
+        assert a.sequence.requests == b.sequence.requests
+
+    def test_partner_pairs_have_high_jaccard(self, small_trace):
+        """Co-occurrence injection makes (2i, 2i+1) the correlated pairs."""
+        stats = correlation_stats(small_trace.sequence)
+        partner = stats.similarity(0, 1)
+        cross = stats.similarity(0, 2)
+        assert partner > cross
+
+    def test_first_pair_has_strongest_injection(self, small_trace):
+        """cooccurrence_probs is decreasing, so J(0,1) > J(4,5)."""
+        stats = correlation_stats(small_trace.sequence)
+        assert stats.similarity(0, 1) > stats.similarity(4, 5)
+
+    def test_hotspot_skews_spatial_load(self):
+        hot = generate_taxi_trace(
+            TaxiTraceConfig(num_taxis=4, duration=300.0, seed=3,
+                            hotspot_fraction=0.9, hotspot_sigma=0.03)
+        )
+        flat = generate_taxi_trace(
+            TaxiTraceConfig(num_taxis=4, duration=300.0, seed=3,
+                            hotspot_fraction=0.0)
+        )
+
+        def top_share(trace, k=5):
+            h = np.sort(trace.zone_histogram())[::-1]
+            return h[:k].sum() / h.sum()
+
+        assert top_share(hot) > top_share(flat)

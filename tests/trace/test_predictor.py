@@ -1,0 +1,104 @@
+"""Tests for the Markov predictor and trajectory perturbation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.model import Request, RequestSequence
+from repro.correlation.jaccard import jaccard_similarity
+from repro.trace.mobility import TaxiTraceConfig, generate_taxi_trace
+from repro.trace.predictor import MarkovZonePredictor, perturb_sequence
+from repro.trace.workload import correlated_pair_sequence
+
+
+class TestMarkovZonePredictor:
+    def test_learns_a_deterministic_cycle(self):
+        # item 0 cycles 0 -> 1 -> 2 -> 0 ...; the chain is fully learnable
+        reqs = []
+        for i in range(30):
+            reqs.append(Request(i % 3, float(i + 1), frozenset({0})))
+        seq = RequestSequence(tuple(reqs), num_servers=3)
+        p = MarkovZonePredictor(3).fit(seq)
+        assert p.predict(0, 0) == 1
+        assert p.predict(0, 1) == 2
+        assert p.predict(0, 2) == 0
+        assert p.accuracy(seq) == pytest.approx(1.0)
+
+    def test_unseen_state_falls_back_to_global_mode(self):
+        reqs = [Request(1, float(i + 1), frozenset({0})) for i in range(5)]
+        seq = RequestSequence(tuple(reqs), num_servers=4)
+        p = MarkovZonePredictor(4).fit(seq)
+        assert p.predict(99, 3) == 1  # global mode is zone 1
+
+    def test_unfitted_raises(self):
+        p = MarkovZonePredictor(3)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            p.predict(0, 0)
+
+    def test_accuracy_on_empty_is_zero(self):
+        p = MarkovZonePredictor(3).fit(RequestSequence([], num_servers=3))
+        assert p.accuracy(RequestSequence([], num_servers=3)) == 0.0
+
+    def test_trace_accuracy_beats_uniform_guessing(self):
+        trace = generate_taxi_trace(
+            TaxiTraceConfig(num_taxis=4, duration=400.0, seed=3)
+        )
+        half = len(trace.sequence) // 2
+        train = RequestSequence(
+            trace.sequence.requests[:half], trace.grid.num_zones
+        )
+        test = RequestSequence(
+            trace.sequence.requests[half:], trace.grid.num_zones
+        )
+        p = MarkovZonePredictor(trace.grid.num_zones).fit(train)
+        assert p.accuracy(test) > 1.0 / trace.grid.num_zones
+
+
+class TestPerturbSequence:
+    def test_zero_error_keeps_servers_and_items(self):
+        seq = correlated_pair_sequence(50, 8, 0.5, seed=1)
+        out = perturb_sequence(seq, error_rate=0.0, seed=2)
+        assert [r.server for r in out] == [r.server for r in seq]
+        assert [r.items for r in out] == [r.items for r in seq]
+
+    def test_full_error_moves_every_request(self):
+        seq = correlated_pair_sequence(50, 8, 0.5, seed=1)
+        out = perturb_sequence(seq, error_rate=1.0, seed=2)
+        assert all(a.server != b.server for a, b in zip(out, seq))
+
+    def test_single_server_universe_cannot_move(self):
+        seq = correlated_pair_sequence(10, 1, 0.5, seed=1)
+        out = perturb_sequence(seq, error_rate=1.0, seed=2)
+        assert all(r.server == 0 for r in out)
+
+    def test_times_remain_strictly_increasing(self):
+        seq = correlated_pair_sequence(100, 5, 0.5, seed=1)
+        out = perturb_sequence(seq, error_rate=0.5, seed=3, time_jitter=1.0)
+        times = out.times
+        assert times[0] > 0
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_item_miss_deflates_jaccard(self):
+        seq = correlated_pair_sequence(300, 5, 0.6, seed=1)
+        out = perturb_sequence(seq, error_rate=0.0, seed=4, item_miss_rate=0.5)
+        assert jaccard_similarity(out, 1, 2) < 0.45
+
+    def test_item_miss_never_empties_requests(self):
+        seq = correlated_pair_sequence(100, 5, 1.0, seed=1)
+        out = perturb_sequence(seq, error_rate=0.0, seed=4, item_miss_rate=1.0)
+        assert all(len(r.items) == 1 for r in out)
+
+    def test_validation(self):
+        seq = correlated_pair_sequence(5, 2, 0.5, seed=1)
+        with pytest.raises(ValueError, match="error_rate"):
+            perturb_sequence(seq, error_rate=1.5)
+        with pytest.raises(ValueError, match="item_miss_rate"):
+            perturb_sequence(seq, error_rate=0.0, item_miss_rate=-0.1)
+        with pytest.raises(ValueError, match="time_jitter"):
+            perturb_sequence(seq, error_rate=0.0, time_jitter=-1.0)
+
+    def test_deterministic_per_seed(self):
+        seq = correlated_pair_sequence(40, 6, 0.4, seed=1)
+        a = perturb_sequence(seq, error_rate=0.3, seed=9, item_miss_rate=0.2)
+        b = perturb_sequence(seq, error_rate=0.3, seed=9, item_miss_rate=0.2)
+        assert a.requests == b.requests

@@ -1,0 +1,134 @@
+"""Tests for the controlled workload generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correlation.jaccard import jaccard_similarity
+from repro.trace.workload import (
+    correlated_pair_sequence,
+    random_single_item_view,
+    zipf_item_workload,
+)
+
+
+class TestCorrelatedPairSequence:
+    def test_length_and_items(self):
+        seq = correlated_pair_sequence(100, 10, 0.4, seed=0)
+        assert len(seq) == 100
+        assert seq.items == {1, 2}
+
+    def test_target_jaccard_achieved(self):
+        for target in (0.0, 0.25, 0.5, 0.75, 1.0):
+            seq = correlated_pair_sequence(200, 10, target, seed=1)
+            got = jaccard_similarity(seq, 1, 2)
+            assert got == pytest.approx(target, abs=0.01)
+
+    def test_deterministic_per_seed(self):
+        a = correlated_pair_sequence(50, 5, 0.3, seed=42)
+        b = correlated_pair_sequence(50, 5, 0.3, seed=42)
+        assert a.requests == b.requests
+
+    def test_different_seeds_differ(self):
+        a = correlated_pair_sequence(50, 5, 0.3, seed=1)
+        b = correlated_pair_sequence(50, 5, 0.3, seed=2)
+        assert a.requests != b.requests
+
+    def test_times_strictly_increasing_and_positive(self):
+        seq = correlated_pair_sequence(300, 20, 0.5, seed=3)
+        times = seq.times
+        assert times[0] > 0
+        assert all(t1 < t2 for t1, t2 in zip(times, times[1:]))
+
+    def test_custom_items(self):
+        seq = correlated_pair_sequence(20, 4, 0.5, seed=0, items=(7, 9))
+        assert seq.items == {7, 9}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlated_pair_sequence(10, 4, 1.5)
+        with pytest.raises(ValueError):
+            correlated_pair_sequence(-1, 4, 0.5)
+        with pytest.raises(ValueError):
+            correlated_pair_sequence(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            correlated_pair_sequence(10, 4, 0.5, items=(3, 3))
+
+    def test_hotspot_skew_concentrates_low_servers(self):
+        uniform = correlated_pair_sequence(500, 20, 0.4, seed=5, hotspot_skew=0.0)
+        skewed = correlated_pair_sequence(500, 20, 0.4, seed=5, hotspot_skew=0.3)
+
+        def share_low(seq):
+            low = sum(1 for r in seq if r.server < 5)
+            return low / len(seq)
+
+        assert share_low(skewed) > share_low(uniform) + 0.2
+
+    def test_hotspot_skew_validation(self):
+        with pytest.raises(ValueError):
+            correlated_pair_sequence(10, 4, 0.5, hotspot_skew=1.0)
+
+    def test_empty_request_count(self):
+        seq = correlated_pair_sequence(0, 4, 0.5)
+        assert len(seq) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(10, 120),
+        m=st.integers(1, 20),
+        j=st.floats(0.0, 1.0),
+        seed=st.integers(0, 10_000),
+    )
+    def test_generated_sequences_are_always_valid(self, n, m, j, seed):
+        seq = correlated_pair_sequence(n, m, j, seed=seed)
+        assert len(seq) == n
+        got = jaccard_similarity(seq, 1, 2)
+        assert got == pytest.approx(round(j * n) / n if n else 0.0, abs=1e-9)
+
+
+class TestZipfWorkload:
+    def test_shape(self):
+        seq = zipf_item_workload(200, 10, 6, seed=0)
+        assert len(seq) == 200
+        assert seq.items <= set(range(6))
+
+    def test_popularity_is_skewed(self):
+        seq = zipf_item_workload(2000, 10, 8, seed=1, cooccurrence=0.0)
+        counts = seq.item_counts()
+        assert counts[0] > counts.get(7, 0) * 2
+
+    def test_cooccurrence_creates_partner_pairs(self):
+        seq = zipf_item_workload(1000, 10, 4, seed=2, cooccurrence=0.5)
+        j = jaccard_similarity(seq, 0, 1)
+        assert j > 0.2
+
+    def test_zero_cooccurrence_single_item_requests(self):
+        seq = zipf_item_workload(100, 5, 4, seed=3, cooccurrence=0.0)
+        assert all(len(r.items) == 1 for r in seq)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_item_workload(10, 5, 0)
+        with pytest.raises(ValueError):
+            zipf_item_workload(10, 5, 3, cooccurrence=2.0)
+
+    def test_deterministic(self):
+        a = zipf_item_workload(50, 5, 4, seed=9)
+        b = zipf_item_workload(50, 5, 4, seed=9)
+        assert a.requests == b.requests
+
+
+class TestRandomSingleItemView:
+    def test_shape_and_bounds(self):
+        v = random_single_item_view(50, 8, seed=0)
+        assert len(v) == 50
+        assert all(0 <= s < 8 for s in v.servers)
+        assert all(t > 0 for t in v.times)
+        assert list(v.times) == sorted(v.times)
+
+    def test_deterministic(self):
+        a = random_single_item_view(30, 4, seed=7)
+        b = random_single_item_view(30, 4, seed=7)
+        assert a.times == b.times and a.servers == b.servers

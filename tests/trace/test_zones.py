@@ -1,0 +1,59 @@
+"""Tests for the city grid partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.zones import SHENZHEN_BBOX, CityGrid
+
+
+class TestCityGrid:
+    def test_num_zones(self):
+        assert CityGrid(5, 10).num_zones == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CityGrid(0, 10)
+        with pytest.raises(ValueError):
+            CityGrid(5, 10, bbox=(1.0, 1.0, 0.0, 2.0))
+
+    def test_zone_of_corners(self):
+        g = CityGrid(2, 2, bbox=(0.0, 0.0, 2.0, 2.0))
+        assert g.zone_of(0.5, 0.5) == 0
+        assert g.zone_of(1.5, 0.5) == 1
+        assert g.zone_of(0.5, 1.5) == 2
+        assert g.zone_of(1.5, 1.5) == 3
+
+    def test_zone_of_clamps_outside_points(self):
+        g = CityGrid(2, 2, bbox=(0.0, 0.0, 2.0, 2.0))
+        assert g.zone_of(-5.0, -5.0) == 0
+        assert g.zone_of(99.0, 99.0) == 3
+
+    def test_vectorised_matches_scalar(self):
+        g = CityGrid(4, 7)
+        rng = np.random.default_rng(0)
+        x0, y0, x1, y1 = g.bbox
+        xs = rng.uniform(x0 - 0.1, x1 + 0.1, 200)
+        ys = rng.uniform(y0 - 0.1, y1 + 0.1, 200)
+        vec = g.zones_of(xs, ys)
+        for x, y, z in zip(xs, ys, vec):
+            assert g.zone_of(float(x), float(y)) == int(z)
+
+    def test_center_round_trips(self):
+        g = CityGrid(3, 5)
+        for z in range(g.num_zones):
+            x, y = g.center(z)
+            assert g.zone_of(x, y) == z
+
+    def test_center_validation(self):
+        with pytest.raises(ValueError):
+            CityGrid(2, 2).center(99)
+
+    def test_iter_centers_covers_all_zones(self):
+        g = CityGrid(2, 3)
+        zones = [z for z, _x, _y in g.iter_centers()]
+        assert zones == list(range(6))
+
+    def test_default_bbox_is_shenzhen(self):
+        assert CityGrid(5, 10).bbox == SHENZHEN_BBOX

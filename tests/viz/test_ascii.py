@@ -1,0 +1,71 @@
+"""Tests for the ASCII renderers."""
+
+from __future__ import annotations
+
+from repro.viz.ascii import ascii_heatmap, ascii_histogram, ascii_line_plot
+
+
+class TestLinePlot:
+    def test_empty_series(self):
+        out = ascii_line_plot({}, title="empty")
+        assert "no data" in out
+
+    def test_single_series_renders_markers(self):
+        out = ascii_line_plot({"s": [(0.0, 0.0), (1.0, 1.0)]}, width=20, height=5)
+        assert "o" in out
+        assert "o s" in out  # legend
+
+    def test_two_series_get_distinct_markers(self):
+        out = ascii_line_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=20, height=5
+        )
+        assert "o a" in out and "* b" in out
+
+    def test_axis_ranges_reported(self):
+        out = ascii_line_plot(
+            {"s": [(2.0, 10.0), (4.0, 30.0)]}, xlabel="rho", ylabel="cost"
+        )
+        assert "rho: 2 .. 4" in out
+        assert "cost [10 .. 30]" in out
+
+    def test_degenerate_constant_series(self):
+        out = ascii_line_plot({"s": [(1.0, 5.0), (2.0, 5.0)]})
+        assert "o" in out  # no crash on zero y-range
+
+    def test_title_included(self):
+        out = ascii_line_plot({"s": [(0, 0)]}, title="Fig. 12")
+        assert out.startswith("Fig. 12")
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert "no data" in ascii_histogram({})
+
+    def test_bars_scale_with_values(self):
+        out = ascii_histogram({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        bar_a = lines[0].count("#")
+        bar_b = lines[1].count("#")
+        assert bar_a == 10 and bar_b == 5
+
+    def test_sorting(self):
+        out = ascii_histogram({"low": 1.0, "high": 9.0}, sort=True)
+        assert out.splitlines()[0].strip().startswith("high")
+
+    def test_zero_values_no_crash(self):
+        out = ascii_histogram({"a": 0.0, "b": 0.0})
+        assert "a" in out and "b" in out
+
+
+class TestHeatmap:
+    def test_empty(self):
+        assert "no data" in ascii_heatmap([])
+
+    def test_scale_line(self):
+        out = ascii_heatmap([[0.0, 10.0]])
+        assert "scale:" in out
+        assert "10" in out
+
+    def test_peak_uses_darkest_shade(self):
+        out = ascii_heatmap([[0.0, 100.0]], shades=" @")
+        assert "@@" in out.splitlines()[0]

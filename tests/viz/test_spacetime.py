@@ -1,0 +1,71 @@
+"""Tests for the space-time schedule renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.model import CostModel, SingleItemView
+from repro.cache.optimal_dp import solve_optimal
+from repro.cache.schedule import CacheInterval, Schedule, Transfer
+from repro.viz.spacetime import render_schedule
+
+
+def view(servers, times, m=4, origin=0):
+    return SingleItemView(
+        servers=tuple(servers), times=tuple(times), num_servers=m, origin=origin
+    )
+
+
+class TestRenderSchedule:
+    def test_empty_schedule_renders(self):
+        out = render_schedule(Schedule((), ()), num_servers=2, origin=0)
+        assert "s0" in out and "s1" in out
+        assert out.splitlines()[0].startswith("s0 O")
+
+    def test_interval_drawn_as_run(self):
+        s = Schedule((CacheInterval(1, 0.0, 10.0),), ())
+        out = render_schedule(s, num_servers=2, origin=0, width=20)
+        s1_line = [l for l in out.splitlines() if l.startswith("s1")][0]
+        assert "=" * 10 in s1_line
+
+    def test_transfer_marks_both_rows(self):
+        s = Schedule(
+            (CacheInterval(0, 0.0, 5.0),),
+            (Transfer(0, 1, 5.0),),
+        )
+        out = render_schedule(s, num_servers=2, origin=0, width=20)
+        lines = {l[:2]: l for l in out.splitlines() if l.startswith("s")}
+        assert "T" in lines["s0"]
+        assert "T" in lines["s1"]
+        assert "transfers: s0->s1@5" in out
+
+    def test_requests_marked_with_star(self):
+        v = view([1], [1.0], m=2)
+        s = Schedule((CacheInterval(0, 0.0, 1.0),), (Transfer(0, 1, 1.0),))
+        out = render_schedule(s, v)
+        s1_line = [l for l in out.splitlines() if l.startswith("s1")][0]
+        assert "*" in s1_line
+
+    def test_rate_multiplier_noted(self):
+        s = Schedule((CacheInterval(0, 0.0, 1.0),), (), rate_multiplier=1.6)
+        out = render_schedule(s, num_servers=1, origin=0)
+        assert "x1.6" in out
+
+    def test_title_and_axis(self):
+        s = Schedule((CacheInterval(0, 0.0, 4.0),), ())
+        out = render_schedule(s, num_servers=1, origin=0, title="demo")
+        assert out.startswith("demo")
+        assert "t=0" in out and "t=4" in out
+
+    def test_running_example_schedule_renders_fully(self, unit_model):
+        v = view([1, 2, 1], [0.8, 1.4, 4.0])
+        res = solve_optimal(v, unit_model, rate_multiplier=1.6)
+        out = render_schedule(res.schedule, v)
+        # two transfers (to s1 at 0.8, to s2 at 1.4) and the s1 chain
+        assert out.count("->") == 2
+        assert "O" in out
+
+    def test_universe_inferred_from_schedule(self):
+        s = Schedule((CacheInterval(3, 0.0, 1.0),), ())
+        out = render_schedule(s)
+        assert "s3" in out

@@ -1,0 +1,61 @@
+"""Tests for CSV and table rendering."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.viz.tables import format_table, rows_to_csv, write_csv
+
+
+ROWS = [
+    {"x": 1, "y": 2.5, "name": "a"},
+    {"x": 2, "y": 3.5, "name": "b"},
+]
+
+
+class TestCsv:
+    def test_round_trip_header_and_rows(self):
+        text = rows_to_csv(ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y,name"
+        assert lines[1] == "1,2.5,a"
+        assert len(lines) == 3
+
+    def test_empty_rows(self):
+        assert rows_to_csv([]) == ""
+
+    def test_column_selection(self):
+        text = rows_to_csv(ROWS, columns=["name", "x"])
+        assert text.strip().splitlines()[0] == "name,x"
+        assert "2.5" not in text
+
+    def test_write_csv_creates_directories(self, tmp_path: Path):
+        target = tmp_path / "deep" / "dir" / "out.csv"
+        path = write_csv(target, ROWS)
+        assert path.exists()
+        assert "x,y,name" in path.read_text()
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        out = format_table(ROWS)
+        assert "name" in out
+        assert "2.5000" in out
+        assert "b" in out
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_consistent_width(self):
+        out = format_table(ROWS)
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1
+
+    def test_missing_keys_render_blank(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "b" in out
+
+    def test_custom_float_format(self):
+        out = format_table([{"v": 1.23456}], float_fmt="{:.1f}")
+        assert "1.2" in out
+        assert "1.2345" not in out
