@@ -25,7 +25,8 @@ Subpackages
     Phase 2 and the full two-phase DP_Greedy algorithm, the evaluation
     baselines (Optimal, Package_Served), and approximation-ratio tools.
 ``repro.engine``
-    The O(mn) pre-scan index structures of Section V.
+    The O(mn) pre-scan index structures of Section V, vectorized Phase-2
+    service passes, and the parallel/memoized execution engine.
 ``repro.trace``
     Synthetic Shenzhen-like taxi mobility traces and correlated-item
     workload generators (substitute for the proprietary trace of [20]).
@@ -84,7 +85,16 @@ from .correlation import (
     jaccard_similarity,
     pair_similarities,
 )
-from .engine import PreScan, greedy_service_pass, package_service_pass
+from .engine import (
+    EngineStats,
+    PreScan,
+    SolverMemo,
+    fingerprint_view,
+    greedy_service_pass,
+    package_service_pass,
+    prev_same_server,
+    serve_plan,
+)
 from .viz import render_schedule
 
 __version__ = "1.0.0"
@@ -135,6 +145,11 @@ __all__ = [
     "PreScan",
     "greedy_service_pass",
     "package_service_pass",
+    "prev_same_server",
+    "SolverMemo",
+    "fingerprint_view",
+    "EngineStats",
+    "serve_plan",
     # extensions
     "HeteroCostModel",
     "hetero_brute_force",

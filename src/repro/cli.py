@@ -15,12 +15,50 @@ report artefacts.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .experiments import ALL_EXPERIMENTS
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The Phase-2 execution-engine knobs shared by run/report/solve."""
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "Phase-2 pool width (1 = exact serial path, default: "
+            "auto-detect from workload size and CPU count)"
+        ),
+    )
+    parser.add_argument(
+        "--no-memo",
+        action="store_true",
+        help="disable the content-addressed solver memo (on by default)",
+    )
+
+
+def _engine_kwargs(fn, workers: Optional[int], memo: bool) -> Dict[str, object]:
+    """Engine kwargs for harnesses that expose the knobs; {} otherwise."""
+    params = inspect.signature(fn).parameters
+    out: Dict[str, object] = {}
+    if "workers" in params and workers is not None:
+        out["workers"] = workers
+    if "memo" in params and memo:
+        out["memo"] = True
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller workloads for a fast smoke run",
     )
+    _add_engine_flags(run)
 
     sub.add_parser("demo", help="run the Section V.C running example")
 
@@ -58,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--out", default="results", help="output directory")
     rep.add_argument("--quick", action="store_true", help="reduced sizes")
+    _add_engine_flags(rep)
 
     solve = sub.add_parser(
         "solve",
@@ -68,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--alpha", type=float, default=0.8)
     solve.add_argument("--mu", type=float, default=1.0)
     solve.add_argument("--lam", type=float, default=1.0)
+    _add_engine_flags(solve)
 
     sched = sub.add_parser(
         "schedule",
@@ -99,12 +140,19 @@ _QUICK_OVERRIDES = {
 }
 
 
-def _run_one(name: str, out: Optional[str], quick: bool) -> int:
+def _run_one(
+    name: str,
+    out: Optional[str],
+    quick: bool,
+    workers: Optional[int] = None,
+    memo: bool = False,
+) -> int:
     fn = ALL_EXPERIMENTS.get(name)
     if fn is None:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
-    kwargs = _QUICK_OVERRIDES.get(name, {}) if quick else {}
+    kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
+    kwargs.update(_engine_kwargs(fn, workers, memo))
     result = fn(**kwargs)
     print(result.report())
     if out:
@@ -136,10 +184,23 @@ def _solve_trace(args: argparse.Namespace) -> int:
             f"J(d{a},d{b})={j:.3f}" for j, a, b in top
         ))
 
-    dpg = solve_dp_greedy(seq, model, theta=args.theta, alpha=args.alpha)
+    dpg = solve_dp_greedy(
+        seq,
+        model,
+        theta=args.theta,
+        alpha=args.alpha,
+        workers=args.workers,
+        memo=not args.no_memo,
+    )
     opt = solve_optimal_nonpacking(seq, model)
     pkg = solve_package_served(seq, model, theta=args.theta, alpha=args.alpha)
     print(f"packages: {[sorted(p) for p in dpg.plan.packages]}")
+    if dpg.engine_stats is not None:
+        es = dpg.engine_stats
+        print(
+            f"engine: {es.pool} pool, {es.workers} worker(s), "
+            f"{es.memo_hits}/{es.memo_hits + es.memo_misses} memo hits"
+        )
     print()
     print(format_table([
         {"algorithm": "DP_Greedy", "total_cost": dpg.total_cost,
@@ -203,17 +264,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from .experiments.report import run_report
 
-        path = run_report(args.out, quick=args.quick)
+        path = run_report(
+            args.out,
+            quick=args.quick,
+            workers=args.workers,
+            memo=not args.no_memo,
+        )
         print(f"report written to {path}")
         return 0
     if args.command == "run":
+        workers, memo = args.workers, not args.no_memo
         if args.experiment == "all":
             rc = 0
             for name in ALL_EXPERIMENTS:
-                rc = max(rc, _run_one(name, args.out, args.quick))
+                rc = max(rc, _run_one(name, args.out, args.quick, workers, memo))
                 print()
             return rc
-        return _run_one(args.experiment, args.out, args.quick)
+        return _run_one(args.experiment, args.out, args.quick, workers, memo)
 
     parser.print_help()
     return 1

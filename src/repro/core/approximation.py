@@ -111,9 +111,18 @@ def ratio_certificate(
     *,
     theta: float,
     alpha: float,
+    workers: Optional[int] = None,
+    memo: "object | bool | None" = None,
 ) -> RatioCertificate:
-    """Run DP_Greedy and certify it against the Theorem 1 bound."""
-    result = solve_dp_greedy(seq, model, theta=theta, alpha=alpha)
+    """Run DP_Greedy and certify it against the Theorem 1 bound.
+
+    ``workers``/``memo`` are forwarded to :func:`solve_dp_greedy` so
+    randomized ratio sweeps (which re-certify the same workloads across
+    alpha values) can opt into the Phase-2 execution engine.
+    """
+    result = solve_dp_greedy(
+        seq, model, theta=theta, alpha=alpha, workers=workers, memo=memo
+    )
     lb = lemma1_lower_bound(seq, model, result)
     return RatioCertificate(result.total_cost, lb, alpha)
 

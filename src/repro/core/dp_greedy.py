@@ -91,7 +91,13 @@ class GroupReport:
 
 @dataclass(frozen=True)
 class DPGreedyResult:
-    """Full outcome of DP_Greedy on a request sequence."""
+    """Full outcome of DP_Greedy on a request sequence.
+
+    ``engine_stats`` is populated only when Phase 2 ran through the
+    parallel execution engine (``parallel=``/``workers=``/``memo=`` of
+    :func:`solve_dp_greedy`); it records pool choice, worker count, and
+    memo hit/miss counters for observability.
+    """
 
     plan: PackingPlan
     stats: CorrelationStats
@@ -100,6 +106,7 @@ class DPGreedyResult:
     denominator: int
     theta: float
     alpha: float
+    engine_stats: Optional[object] = None  # repro.engine.parallel.EngineStats
 
     @property
     def ave_cost(self) -> float:
@@ -130,18 +137,34 @@ def serve_singleton(
     model: CostModel,
     *,
     build_schedule: bool = False,
+    sub: Optional[RequestSequence] = None,
+    dp_cost: Optional[float] = None,
 ) -> GroupReport:
-    """Serve one unpacked item with the optimal off-line algorithm."""
-    sub = seq.restrict_to_item(item)
-    res = solve_optimal(sub, model, build_schedule=build_schedule)
+    """Serve one unpacked item with the optimal off-line algorithm.
+
+    ``sub`` lets callers that already restricted the sequence (e.g. the
+    execution engine, which restricts once to fingerprint the
+    sub-problem) skip the second scan; ``dp_cost`` injects a memoised
+    solver result so the DP is skipped entirely (cost-only mode: the two
+    are mutually exclusive with ``build_schedule=True``).
+    """
+    if sub is None:
+        sub = seq.restrict_to_item(item)
+    if dp_cost is not None:
+        if build_schedule:
+            raise ValueError("dp_cost injection is cost-only")
+        cost, schedule = dp_cost, None
+    else:
+        res = solve_optimal(sub, model, build_schedule=build_schedule)
+        cost, schedule = res.cost, res.schedule
     return GroupReport(
         group=frozenset((item,)),
-        package_cost=res.cost,
+        package_cost=cost,
         single_sided_cost=0.0,
         num_cooccurrence=len(sub),
         num_single_sided=0,
         modes=(),
-        package_schedule=res.schedule,
+        package_schedule=schedule,
     )
 
 
@@ -225,6 +248,7 @@ def serve_package(
     alpha: float,
     *,
     build_schedule: bool = False,
+    dp_cost: Optional[float] = None,
 ) -> GroupReport:
     """Serve one package per Phase 2 of Algorithm 1.
 
@@ -233,6 +257,10 @@ def serve_package(
     the package, served at rate ``alpha * k``; nodes carrying a strict
     non-empty subset are served greedily per item with the package-ship
     option costing ``alpha * k * lam``.
+
+    ``dp_cost`` injects a memoised co-occurrence DP result (cost-only:
+    incompatible with ``build_schedule=True``); the single-sided greedy
+    pass always runs, it is cheap and carries the per-node mode ledger.
     """
     k = len(package)
     if k < 2:
@@ -241,19 +269,25 @@ def serve_package(
     mu, lam = model.mu, model.lam
     ship_cost = rate * lam  # Observation 2's constant (2*alpha*lam for k=2)
 
-    nodes = seq.restrict_to_items(package, mode="any")
     co_view = seq.restrict_to_items(package, mode="all")
-    # The package is one pseudo-item: project the co-occurrence nodes to a
-    # bare (server, time) trajectory and run the optimal DP at package rate.
-    pseudo = SingleItemView(
-        servers=co_view.servers,
-        times=co_view.times,
-        num_servers=co_view.num_servers,
-        origin=co_view.origin,
-    )
-    dp = solve_optimal(
-        pseudo, model, build_schedule=build_schedule, rate_multiplier=rate
-    )
+    if dp_cost is not None:
+        if build_schedule:
+            raise ValueError("dp_cost injection is cost-only")
+        dp_total, dp_schedule = dp_cost, None
+    else:
+        # The package is one pseudo-item: project the co-occurrence nodes
+        # to a bare (server, time) trajectory and run the optimal DP at
+        # package rate.
+        pseudo = SingleItemView(
+            servers=co_view.servers,
+            times=co_view.times,
+            num_servers=co_view.num_servers,
+            origin=co_view.origin,
+        )
+        dp = solve_optimal(
+            pseudo, model, build_schedule=build_schedule, rate_multiplier=rate
+        )
+        dp_total, dp_schedule = dp.cost, dp.schedule
 
     # --- greedy pass over partial nodes (Observation 2) ----------------
     single_cost = 0.0
@@ -267,12 +301,12 @@ def serve_package(
 
     return GroupReport(
         group=package,
-        package_cost=dp.cost,
+        package_cost=dp_total,
         single_sided_cost=single_cost,
         num_cooccurrence=len(co_view),
         num_single_sided=n_partial,
         modes=tuple(modes),
-        package_schedule=dp.schedule,
+        package_schedule=dp_schedule,
     )
 
 
@@ -286,6 +320,9 @@ def solve_dp_greedy(
     max_group_size: int = 3,
     build_schedules: bool = False,
     plan: Optional[PackingPlan] = None,
+    parallel: bool = False,
+    workers: Optional[int] = None,
+    memo: "object | bool | None" = None,
 ) -> DPGreedyResult:
     """Run the full two-phase DP_Greedy algorithm on ``seq``.
 
@@ -304,6 +341,15 @@ def solve_dp_greedy(
         skipped and the plan is served as-is (used by the robustness
         study, which plans on a *predicted* trajectory and serves the
         true one).  The plan's items must cover exactly ``seq``'s items.
+    parallel / workers / memo:
+        Opt-in to the Phase-2 execution engine
+        (:func:`repro.engine.parallel.serve_plan`).  ``parallel=True``
+        auto-detects the pool from the workload; ``workers`` pins the
+        pool width (``workers=1`` reproduces the serial loop
+        bit-for-bit); ``memo`` is a
+        :class:`~repro.engine.memo.SolverMemo` shared across calls (or
+        ``True`` for the process-wide default memo).  With all three at
+        their defaults the classic serial path runs untouched.
     """
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
@@ -321,13 +367,39 @@ def solve_dp_greedy(
     else:
         raise ValueError(f"unknown packing mode {packing!r}")
 
-    reports: List[GroupReport] = []
-    for pkg in plan.packages:
-        reports.append(
-            serve_package(seq, pkg, model, alpha, build_schedule=build_schedules)
+    engine_stats = None
+    use_engine = parallel or workers is not None or memo not in (None, False)
+    if use_engine:
+        from ..engine.memo import SolverMemo, get_default_memo
+        from ..engine.parallel import serve_plan
+
+        if memo is True:
+            memo_obj: Optional[SolverMemo] = get_default_memo()
+        elif memo in (None, False):
+            memo_obj = None
+        elif isinstance(memo, SolverMemo):
+            memo_obj = memo
+        else:
+            raise TypeError("memo must be a SolverMemo, True, False, or None")
+        reports, engine_stats = serve_plan(
+            seq,
+            plan,
+            model,
+            alpha,
+            workers=workers,
+            memo=memo_obj,
+            build_schedules=build_schedules,
         )
-    for d in plan.singletons:
-        reports.append(serve_singleton(seq, d, model, build_schedule=build_schedules))
+    else:
+        reports = []
+        for pkg in plan.packages:
+            reports.append(
+                serve_package(seq, pkg, model, alpha, build_schedule=build_schedules)
+            )
+        for d in plan.singletons:
+            reports.append(
+                serve_singleton(seq, d, model, build_schedule=build_schedules)
+            )
 
     total = sum(r.total for r in reports)
     return DPGreedyResult(
@@ -338,4 +410,5 @@ def solve_dp_greedy(
         denominator=seq.total_item_requests(),
         theta=theta,
         alpha=alpha,
+        engine_stats=engine_stats,
     )

@@ -19,6 +19,7 @@ matrix product over nested Python loops.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -56,8 +57,15 @@ class CorrelationStats:
     cooccurrence: np.ndarray
     jaccard: np.ndarray
 
+    @cached_property
+    def _item_index(self) -> Dict[int, int]:
+        return {d: a for a, d in enumerate(self.items)}
+
     def index_of(self, item: int) -> int:
-        return self.items.index(item)
+        try:
+            return self._item_index[item]
+        except KeyError:
+            raise ValueError(f"item {item} is not in the sequence") from None
 
     def similarity(self, d_i: int, d_j: int) -> float:
         """``J(d_i, d_j)`` by item identifier."""
@@ -67,19 +75,28 @@ class CorrelationStats:
         """``|(d_i, d_j)|`` by item identifier (Fig. 10's frequency)."""
         return int(self.cooccurrence[self.index_of(d_i), self.index_of(d_j)])
 
+    def _upper_pairs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row/column indices and J values of all ``a < b`` pairs."""
+        k = len(self.items)
+        ia, ib = np.triu_indices(k, k=1)
+        return ia, ib, self.jaccard[ia, ib]
+
     def pairs_by_similarity(self) -> List[Tuple[float, int, int]]:
         """All unordered pairs as ``(J, d_i, d_j)`` sorted by descending J.
 
         Ties break on the item identifiers so the ordering -- and hence
-        Phase 1's packing -- is deterministic.
+        Phase 1's packing -- is deterministic.  Pair enumeration and the
+        sort are a single ``triu_indices``/``lexsort`` pass (``items`` is
+        sorted ascending, so row/column order is already the tie-break
+        order).
         """
-        out: List[Tuple[float, int, int]] = []
-        k = len(self.items)
-        for a in range(k):
-            for b in range(a + 1, k):
-                out.append((float(self.jaccard[a, b]), self.items[a], self.items[b]))
-        out.sort(key=lambda t: (-t[0], t[1], t[2]))
-        return out
+        ia, ib, jac = self._upper_pairs()
+        items_arr = np.asarray(self.items)
+        order = np.lexsort((items_arr[ib], items_arr[ia], -jac))
+        return [
+            (float(jac[o]), int(items_arr[ia[o]]), int(items_arr[ib[o]]))
+            for o in order
+        ]
 
 
 def correlation_stats(seq: RequestSequence) -> CorrelationStats:
@@ -89,12 +106,25 @@ def correlation_stats(seq: RequestSequence) -> CorrelationStats:
     idx = {d: a for a, d in enumerate(items)}
     n = len(seq)
 
-    incidence = np.zeros((n, k), dtype=np.int64)
+    # Flatten (request, item) memberships once and scatter them into the
+    # incidence matrix with a single fancy-indexed assignment; the matrix
+    # is float64 so the co-occurrence product below runs through BLAS
+    # instead of numpy's slow integer matmul.  Counts are sums of 0/1
+    # entries, far below 2**53, so the float accumulation is exact.
+    total = seq.total_item_requests()
+    rows = np.empty(total, dtype=np.intp)
+    cols = np.empty(total, dtype=np.intp)
+    pos = 0
     for row, r in enumerate(seq):
         for d in r.items:
-            incidence[row, idx[d]] = 1
+            rows[pos] = row
+            cols[pos] = idx[d]
+            pos += 1
+    incidence = np.zeros((n, k), dtype=np.float64)
+    incidence[rows, cols] = 1.0
 
-    co = incidence.T @ incidence  # co[a, b] = |(d_a, d_b)|, diag = |d_a|
+    co_f = incidence.T @ incidence  # co[a, b] = |(d_a, d_b)|, diag = |d_a|
+    co = np.rint(co_f).astype(np.int64)
     counts = np.diag(co).copy()
 
     union = counts[:, None] + counts[None, :] - co
@@ -120,9 +150,9 @@ def jaccard_similarity(seq: RequestSequence, d_i: int, d_j: int) -> float:
 def pair_similarities(seq: RequestSequence) -> Dict[Tuple[int, int], float]:
     """The paper's ``Jaccard`` dictionary: ``{(d_i, d_j): J}`` for i < j."""
     stats = correlation_stats(seq)
-    out: Dict[Tuple[int, int], float] = {}
-    k = len(stats.items)
-    for a in range(k):
-        for b in range(a + 1, k):
-            out[(stats.items[a], stats.items[b])] = float(stats.jaccard[a, b])
-    return out
+    ia, ib, jac = stats._upper_pairs()
+    items_arr = np.asarray(stats.items)
+    return {
+        (int(a), int(b)): float(j)
+        for a, b, j in zip(items_arr[ia], items_arr[ib], jac)
+    }

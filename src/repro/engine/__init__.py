@@ -1,6 +1,19 @@
-"""Efficient implementation structures of Section V (pre-scan + service pass)."""
+"""Efficient implementation structures of Section V (pre-scan + service
+pass) plus the parallel Phase-2 execution engine and solver memo."""
 
+from .memo import SolverMemo, fingerprint_view, get_default_memo
+from .parallel import EngineStats, serve_plan
 from .prescan import PreScan
-from .service import greedy_service_pass, package_service_pass
+from .service import greedy_service_pass, package_service_pass, prev_same_server
 
-__all__ = ["PreScan", "greedy_service_pass", "package_service_pass"]
+__all__ = [
+    "PreScan",
+    "greedy_service_pass",
+    "package_service_pass",
+    "prev_same_server",
+    "SolverMemo",
+    "fingerprint_view",
+    "get_default_memo",
+    "EngineStats",
+    "serve_plan",
+]

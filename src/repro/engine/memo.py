@@ -1,0 +1,159 @@
+"""Content-addressed memoisation of single-item solver calls.
+
+Experiment sweeps (``fig11``--``fig13``, the theta ablation, the ratio
+study) re-run DP_Greedy over the *same* request sequence while varying
+only ``theta`` or ``alpha``.  Phase 2's heavy work -- the optimal DP over
+each serving unit's sub-trajectory -- depends only on the trajectory and
+the cost rates, so most of those re-solves are byte-for-byte repeats:
+``theta`` merely regroups items, and singleton sub-problems are identical
+across every sweep point.  :class:`SolverMemo` eliminates the repeats.
+
+The memo is *content-addressed*: the key is a BLAKE2b fingerprint of the
+exact solver input -- the ``(servers, times)`` trajectory, the server
+universe and origin, the cost rates ``(mu, lam)``, and the package
+``rate_multiplier``.  Two lookups collide only when the solver would have
+been called with identical arguments, so a hit returns the exact float
+the solver would have produced (the miss path *stores whatever the real
+solver returned*, it never recomputes costs a different way).
+
+Hit/miss counters are exposed for observability; the engine surfaces
+them through :class:`repro.engine.parallel.EngineStats` and the CLI
+prints them per harness run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..cache.model import CostModel, RequestSequence, SingleItemView
+
+__all__ = ["SolverMemo", "fingerprint_view", "get_default_memo"]
+
+
+def fingerprint_view(
+    view: "SingleItemView | RequestSequence",
+    model: CostModel,
+    rate_multiplier: float = 1.0,
+) -> bytes:
+    """BLAKE2b digest of one solver input.
+
+    Covers everything the single-item solvers read: the trajectory
+    (servers as int64, times as float64, in order), the server universe
+    and origin, and the effective rates.  The digest is 16 bytes, cheap
+    to compute (one pass over packed bytes) and safe to share across
+    processes.
+    """
+    if isinstance(view, RequestSequence):
+        view = view.single_item_view()
+    h = hashlib.blake2b(digest_size=16)
+    h.update(
+        struct.pack(
+            "<qqddd",
+            view.num_servers,
+            view.origin,
+            model.mu,
+            model.lam,
+            rate_multiplier,
+        )
+    )
+    h.update(np.asarray(view.servers, dtype=np.int64).tobytes())
+    h.update(np.asarray(view.times, dtype=np.float64).tobytes())
+    return h.digest()
+
+
+class SolverMemo:
+    """Bounded, thread-safe cache of solver costs keyed by fingerprint.
+
+    Parameters
+    ----------
+    max_entries:
+        Eviction bound (oldest-inserted entries leave first).  ``None``
+        means unbounded; the default is generous for sweep workloads
+        while keeping worst-case memory trivial (one float per entry).
+    """
+
+    def __init__(self, max_entries: Optional[int] = 1_000_000) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self._entries: Dict[bytes, float] = {}
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    # -- key construction ------------------------------------------------
+    @staticmethod
+    def fingerprint(
+        view: "SingleItemView | RequestSequence",
+        model: CostModel,
+        rate_multiplier: float = 1.0,
+    ) -> bytes:
+        return fingerprint_view(view, model, rate_multiplier)
+
+    # -- storage ---------------------------------------------------------
+    def get(self, key: bytes) -> Optional[float]:
+        """Look up a cost; counts a hit or a miss."""
+        with self._lock:
+            cost = self._entries.get(key)
+            if cost is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return cost
+
+    def put(self, key: bytes, cost: float) -> None:
+        with self._lock:
+            if (
+                self.max_entries is not None
+                and key not in self._entries
+                and len(self._entries) >= self.max_entries
+            ):
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = cost
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- observability ---------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters snapshot: ``{hits, misses, entries, hit_rate}``."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": len(self._entries),
+                "hit_rate": self._hits / total if total else 0.0,
+            }
+
+
+_DEFAULT_MEMO = SolverMemo()
+
+
+def get_default_memo() -> SolverMemo:
+    """The process-wide memo used when callers opt in with ``memo=True``."""
+    return _DEFAULT_MEMO

@@ -1,0 +1,319 @@
+"""Parallel Phase-2 execution engine.
+
+Phase 2 of DP_Greedy serves every *serving unit* (package or singleton)
+over its own disjoint sub-sequence -- the units share no state, so the
+phase is embarrassingly parallel by construction.  This module fans the
+units of a :class:`~repro.correlation.packing.PackingPlan` out over a
+``concurrent.futures`` pool and funnels repeated sub-problems through the
+content-addressed :class:`~repro.engine.memo.SolverMemo`.
+
+Pool selection heuristic
+------------------------
+The engine estimates the pending workload as the total number of
+requests carried by un-memoised units and picks the cheapest adequate
+backend:
+
+* ``workers=1`` (or a workload below :data:`AUTO_SERIAL_NODES` under
+  auto-detection) runs the exact same ``serve_package`` /
+  ``serve_singleton`` calls, in the same order, as the classic serial
+  loop -- bit-for-bit identical output;
+* a *thread* pool is used for mid-size workloads (cheap to spin up; the
+  solvers release no GIL, so this mainly overlaps the numpy portions);
+* a *process* pool (fork when available) takes over above
+  :data:`PROCESS_POOL_NODES`, where per-unit DP time dwarfs the
+  fork/pickle overhead.
+
+Determinism guarantee
+---------------------
+Results are collected with order-preserving ``Executor.map`` and every
+serve function is pure, so the report list is identical -- including
+float bit patterns -- across serial, thread, and process execution, and
+across any ``workers`` value.  Memoisation preserves this too: a memo
+hit returns the exact float the solver produced when the entry was
+stored, and the miss path stores whatever the real solver returned.
+
+Memoisation
+-----------
+Memo lookups happen in the parent *before* dispatch, so hits never pay
+pool overhead; only misses fan out.  Keys fingerprint the solver input
+(trajectory + rates + rate multiplier), hence sweeps that vary only
+``theta``/``alpha`` re-use every singleton sub-solution (singleton DP
+inputs do not depend on either knob).  Hit/miss counters are surfaced
+per call through :class:`EngineStats`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..cache.model import CostModel, RequestSequence, SingleItemView, package_rate
+from ..correlation.packing import PackingPlan
+from ..core.dp_greedy import GroupReport, serve_package, serve_singleton
+from .memo import SolverMemo, fingerprint_view
+
+__all__ = [
+    "AUTO_SERIAL_NODES",
+    "PROCESS_POOL_NODES",
+    "EngineStats",
+    "serve_plan",
+]
+
+#: Below this many pending request-nodes, auto-detection stays serial
+#: (pool startup would dominate the saved work).
+AUTO_SERIAL_NODES = 4_096
+
+#: At or above this many pending request-nodes, the engine prefers a
+#: process pool over threads.
+PROCESS_POOL_NODES = 16_384
+
+# Unit spec shipped to workers: ("package", (d1, d2, ...)) or
+# ("singleton", item).  Tuples keep pickling cheap and deterministic.
+_UnitSpec = Tuple[str, Union[Tuple[int, ...], int]]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Observability record of one :func:`serve_plan` call."""
+
+    units: int
+    packages: int
+    singletons: int
+    workers: int
+    pool: str  # "serial" | "thread" | "process"
+    dispatched: int  # units actually sent to the pool (memo misses)
+    memo_hits: int
+    memo_misses: int
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+
+def _plan_units(plan: PackingPlan) -> List[_UnitSpec]:
+    """Serving units in the classic serial order: packages, then singletons."""
+    units: List[_UnitSpec] = [
+        ("package", tuple(sorted(pkg))) for pkg in plan.packages
+    ]
+    units.extend(("singleton", d) for d in plan.singletons)
+    return units
+
+
+def _serve_unit(
+    seq: RequestSequence,
+    spec: _UnitSpec,
+    model: CostModel,
+    alpha: float,
+    build_schedules: bool,
+) -> GroupReport:
+    kind, payload = spec
+    if kind == "package":
+        return serve_package(
+            seq, frozenset(payload), model, alpha, build_schedule=build_schedules
+        )
+    return serve_singleton(seq, payload, model, build_schedule=build_schedules)
+
+
+# ---------------------------------------------------------------------------
+# process-pool worker side: the sequence is shipped once per worker via the
+# initializer (with fork it is inherited copy-on-write), not per unit.
+# ---------------------------------------------------------------------------
+_WORKER_ARGS: Tuple = ()
+
+
+def _init_worker(
+    seq: RequestSequence, model: CostModel, alpha: float, build_schedules: bool
+) -> None:
+    global _WORKER_ARGS
+    _WORKER_ARGS = (seq, model, alpha, build_schedules)
+
+
+def _serve_unit_in_worker(spec: _UnitSpec) -> GroupReport:
+    seq, model, alpha, build_schedules = _WORKER_ARGS
+    return _serve_unit(seq, spec, model, alpha, build_schedules)
+
+
+# ---------------------------------------------------------------------------
+# parent-side memo integration
+# ---------------------------------------------------------------------------
+def _memo_probe(
+    seq: RequestSequence,
+    spec: _UnitSpec,
+    model: CostModel,
+    alpha: float,
+    memo: SolverMemo,
+) -> Tuple[Optional[GroupReport], Optional[bytes]]:
+    """Try to serve one unit from the memo.
+
+    Returns ``(report, None)`` on a hit and ``(None, key)`` on a miss;
+    the key is re-used after the real solve to store the DP cost.
+    """
+    kind, payload = spec
+    if kind == "singleton":
+        sub = seq.restrict_to_item(payload)
+        key = fingerprint_view(sub, model, 1.0)
+        cost = memo.get(key)
+        if cost is None:
+            return None, key
+        return (
+            serve_singleton(seq, payload, model, sub=sub, dp_cost=cost),
+            None,
+        )
+    package = frozenset(payload)
+    co_view = seq.restrict_to_items(package, mode="all")
+    pseudo = SingleItemView(
+        servers=co_view.servers,
+        times=co_view.times,
+        num_servers=co_view.num_servers,
+        origin=co_view.origin,
+    )
+    key = fingerprint_view(pseudo, model, package_rate(len(package), alpha))
+    cost = memo.get(key)
+    if cost is None:
+        return None, key
+    return serve_package(seq, package, model, alpha, dp_cost=cost), None
+
+
+def _unit_sizes(seq: RequestSequence, units: Sequence[_UnitSpec]) -> List[int]:
+    """Carried-request count per unit (the pool-selection size estimate)."""
+    counts = seq.item_counts()
+    sizes: List[int] = []
+    for kind, payload in units:
+        if kind == "singleton":
+            sizes.append(counts.get(payload, 0))
+        else:
+            sizes.append(sum(counts.get(d, 0) for d in payload))
+    return sizes
+
+
+def _resolve_backend(
+    workers: Optional[int], pending_nodes: int, pending_units: int, pool: Optional[str]
+) -> Tuple[int, str]:
+    """Apply the pool-selection heuristic; returns ``(workers, pool_kind)``."""
+    if pool not in (None, "serial", "thread", "process"):
+        raise ValueError(f"unknown pool kind {pool!r}")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers is None:
+        if pool is None and pending_nodes < AUTO_SERIAL_NODES:
+            return 1, "serial"
+        workers = min(os.cpu_count() or 1, max(pending_units, 1))
+    workers = min(workers, max(pending_units, 1))
+    if pool is not None:
+        if pool == "serial" or workers == 1:
+            return 1, "serial"
+        return workers, pool
+    if workers == 1:
+        return 1, "serial"
+    kind = "process" if pending_nodes >= PROCESS_POOL_NODES else "thread"
+    return workers, kind
+
+
+def _make_executor(
+    kind: str,
+    workers: int,
+    seq: RequestSequence,
+    model: CostModel,
+    alpha: float,
+    build_schedules: bool,
+) -> Executor:
+    if kind == "thread":
+        return ThreadPoolExecutor(max_workers=workers)
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(seq, model, alpha, build_schedules),
+    )
+
+
+def serve_plan(
+    seq: RequestSequence,
+    plan: PackingPlan,
+    model: CostModel,
+    alpha: float,
+    *,
+    workers: Optional[int] = None,
+    memo: Optional[SolverMemo] = None,
+    build_schedules: bool = False,
+    pool: Optional[str] = None,
+) -> Tuple[List[GroupReport], EngineStats]:
+    """Serve every unit of ``plan``; return reports in serial order.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` forces the classic serial loop (bit-for-bit identical to
+        the pre-engine path); ``None`` auto-detects from the workload
+        size and CPU count; any other value caps the pool width.
+    memo:
+        Optional :class:`SolverMemo`.  Hits are served in the parent;
+        only misses are dispatched, and their DP costs are stored back.
+        Ignored when ``build_schedules=True`` (schedules are not cached).
+    pool:
+        Force a backend (``"serial"``/``"thread"``/``"process"``)
+        instead of the size heuristic; used by tests and benchmarks.
+    """
+    units = _plan_units(plan)
+    n_packages = len(plan.packages)
+    use_memo = memo is not None and not build_schedules
+
+    reports: List[Optional[GroupReport]] = [None] * len(units)
+    pending: List[int] = []
+    miss_keys: Dict[int, bytes] = {}
+    hits = 0
+    if use_memo:
+        for idx, spec in enumerate(units):
+            report, key = _memo_probe(seq, spec, model, alpha, memo)
+            if report is not None:
+                reports[idx] = report
+                hits += 1
+            else:
+                pending.append(idx)
+                miss_keys[idx] = key
+    else:
+        pending = list(range(len(units)))
+
+    sizes = _unit_sizes(seq, [units[i] for i in pending])
+    workers_used, kind = _resolve_backend(workers, sum(sizes), len(pending), pool)
+
+    if kind == "serial":
+        for idx in pending:
+            reports[idx] = _serve_unit(seq, units[idx], model, alpha, build_schedules)
+    else:
+        specs = [units[i] for i in pending]
+        chunksize = max(1, len(specs) // (4 * workers_used))
+        with _make_executor(
+            kind, workers_used, seq, model, alpha, build_schedules
+        ) as ex:
+            if kind == "thread":
+                results = ex.map(
+                    lambda spec: _serve_unit(seq, spec, model, alpha, build_schedules),
+                    specs,
+                )
+            else:
+                results = ex.map(_serve_unit_in_worker, specs, chunksize=chunksize)
+            for idx, report in zip(pending, results):
+                reports[idx] = report
+
+    if use_memo:
+        for idx in pending:
+            memo.put(miss_keys[idx], reports[idx].package_cost)
+
+    stats = EngineStats(
+        units=len(units),
+        packages=n_packages,
+        singletons=len(plan.singletons),
+        workers=workers_used,
+        pool=kind,
+        dispatched=len(pending),
+        memo_hits=hits,
+        memo_misses=len(pending) if use_memo else 0,
+    )
+    return [r for r in reports if r is not None], stats

@@ -7,16 +7,23 @@ and "interval covering r_i" query in O(1) while computing the actual
 costs.  This module is that service pass:
 
 * :func:`greedy_service_pass` -- the simple greedy of Section IV-B
-  computed entirely through pre-scan lookups (no per-request dictionary
+  computed entirely through index lookups (no per-request dictionary
   bookkeeping);
 * :func:`package_service_pass` -- Phase 2's single-sided greedy
   (Observation 2) over a mixed co-occurrence/single-sided node list, also
   index-driven.
 
+Both passes are fully vectorised: the only per-request information the
+greedy needs is ``p(i)`` (Definition 1 -- the most recent request on the
+same server), and that array is obtained with one stable ``lexsort`` by
+``(server, position)`` followed by a shifted comparison -- the same
+information ``Q_j``/``pLast`` carry, without materialising the pre-scan's
+``(n, m)`` ``recent`` matrix.  All per-request costs are then computed as
+whole-array expressions.
+
 Both are cross-checked in tests against the reference implementations in
 :mod:`repro.cache.greedy` and :mod:`repro.core.dp_greedy`; the benchmark
-suite compares their throughput (the pre-scan's O(1) queries vs the
-reference's hash lookups).
+suite compares their throughput against the reference's hash lookups.
 """
 
 from __future__ import annotations
@@ -26,47 +33,83 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 import numpy as np
 
 from ..cache.model import CostModel, RequestSequence, SingleItemView, package_rate
-from .prescan import PreScan
 
-__all__ = ["greedy_service_pass", "package_service_pass"]
+__all__ = ["greedy_service_pass", "package_service_pass", "prev_same_server"]
+
+
+def prev_same_server(servers: np.ndarray) -> np.ndarray:
+    """``p(i)`` of Definition 1 for a whole trajectory, vectorised.
+
+    A stable lexsort by ``(server, position)`` lines every server's
+    requests up consecutively in original time order; the predecessor of
+    each element inside its server-run is exactly ``p(i)``.  ``-1`` marks
+    requests with no same-server predecessor.
+    """
+    n = servers.size
+    prev = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return prev
+    order = np.lexsort((np.arange(n), servers))
+    same = servers[order][1:] == servers[order][:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _single_sided_costs(
+    servers: np.ndarray,
+    times: np.ndarray,
+    origin: int,
+    mu: float,
+    lam: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-request (cache, transfer) cost vectors of the simple greedy.
+
+    ``cache[i]`` is ``mu * (t_i - t_{p(i)})`` when ``p(i)`` exists,
+    ``mu * t_i`` when request ``i`` sits on the origin (cache from the
+    initial placement), else ``+inf``.  ``transfer[i]`` is
+    ``mu * (t_i - t_{i-1}) + lam`` with the virtual origin node at t=0.
+    """
+    n = times.size
+    prev = prev_same_server(servers)
+    has_prev = prev >= 0
+    # times[prev] reads garbage where prev == -1; np.where masks it out.
+    cache = np.where(
+        has_prev,
+        mu * (times - times[prev]),
+        np.where(servers == origin, mu * times, np.inf),
+    )
+    prev_t = np.empty(n)
+    prev_t[0] = 0.0
+    prev_t[1:] = times[:-1]
+    transfer = mu * (times - prev_t) + lam
+    return cache, transfer
 
 
 def greedy_service_pass(
     view: "SingleItemView | RequestSequence",
     model: CostModel,
 ) -> float:
-    """Simple greedy via pre-scan lookups (cost only).
+    """Simple greedy via vectorised index lookups (cost only).
 
-    For request ``i``: ``p(i)`` comes from the pre-scan's ``prev_same``
-    array; the most recent request overall is simply ``i - 1``; the
-    virtual origin node is handled by treating index ``-1`` as
-    ``(origin, t=0)``, matching the reference implementation.
+    For request ``i``: ``p(i)`` comes from :func:`prev_same_server`; the
+    most recent request overall is simply ``i - 1``; the virtual origin
+    node is handled by treating index ``-1`` as ``(origin, t=0)``,
+    matching the reference implementation.  An empty view short-circuits
+    to ``0.0`` before any index work.
     """
     if isinstance(view, RequestSequence):
         view = view.single_item_view()
-    if len(view.times) and view.times[0] <= 0:
+    if len(view.times) == 0:
+        return 0.0
+    if view.times[0] <= 0:
         raise ValueError("request times must be strictly positive")
 
-    ps = PreScan(view)
-    mu, lam = model.mu, model.lam
-    origin = view.origin
-    times = ps.times
-    servers = ps.servers
-
-    total = 0.0
-    for i in range(ps.n):
-        t_i = float(times[i])
-        p = int(ps.prev_same[i])
-        if p >= 0:
-            cache_cost = mu * (t_i - float(times[p]))
-        elif int(servers[i]) == origin:
-            cache_cost = mu * t_i  # cache from the initial placement
-        else:
-            cache_cost = float("inf")
-        prev_t = float(times[i - 1]) if i > 0 else 0.0
-        transfer_cost = mu * (t_i - prev_t) + lam
-        total += min(cache_cost, transfer_cost)
-    return total
+    servers = np.asarray(view.servers, dtype=np.int64)
+    times = np.asarray(view.times, dtype=np.float64)
+    cache, transfer = _single_sided_costs(
+        servers, times, view.origin, model.mu, model.lam
+    )
+    return float(np.minimum(cache, transfer).sum())
 
 
 def package_service_pass(
@@ -75,14 +118,20 @@ def package_service_pass(
     model: CostModel,
     alpha: float,
 ) -> float:
-    """Phase 2's single-sided greedy total via pre-scan indexes.
+    """Phase 2's single-sided greedy total via vectorised index lookups.
 
-    Builds one pre-scan per packed item over the nodes carrying it
+    For each packed item ``d`` the pass works over the nodes carrying it
     (co-occurrence nodes included -- they are valid cache/transfer
     sources per Observation 1) and charges only the single-sided nodes
     with ``min(cache, transfer, ship)``.  Returns the single-sided ledger
     total; the co-occurrence DP part is rate-invariant and computed by
     :func:`repro.cache.optimal_dp.optimal_cost` as usual.
+
+    The node list is built with a *single* scan of the sequence (one
+    ``restrict_to_items`` call for the whole package); each item's
+    carrying sub-trajectory is then a boolean-mask selection, and its
+    ``p(i)`` array comes from :func:`prev_same_server` -- no per-item
+    rescans of the full sequence and no per-item pre-scan construction.
     """
     k = len(package)
     if k < 2:
@@ -90,24 +139,25 @@ def package_service_pass(
     mu, lam = model.mu, model.lam
     ship = package_rate(k, alpha) * lam
 
+    nodes = seq.restrict_to_items(package, mode="any")
+    n = len(nodes)
+    if n == 0:
+        return 0.0
+    servers = np.asarray(nodes.servers, dtype=np.int64)
+    times = np.asarray(nodes.times, dtype=np.float64)
+    # nodes' item sets are already intersected with the package, so a node
+    # is co-occurrence exactly when it kept every item of the package.
+    member = np.zeros((n, k), dtype=bool)
+    for col, d in enumerate(sorted(package)):
+        member[:, col] = [d in r.items for r in nodes]
+    is_co = member.all(axis=1)
+
     total = 0.0
-    for d in sorted(package):
-        nodes = seq.restrict_to_items({d}, mode="any")
-        # which of d's nodes are single-sided in the original sequence?
-        carrying = [r for r in seq if d in r.items]
-        ps = PreScan(nodes)
-        for i, original in enumerate(carrying):
-            if package <= original.items:
-                continue  # co-occurrence node: served by the package DP
-            t_i = float(ps.times[i])
-            p = int(ps.prev_same[i])
-            if p >= 0:
-                cache_cost = mu * (t_i - float(ps.times[p]))
-            elif int(ps.servers[i]) == seq.origin:
-                cache_cost = mu * t_i
-            else:
-                cache_cost = float("inf")
-            prev_t = float(ps.times[i - 1]) if i > 0 else 0.0
-            transfer_cost = mu * (t_i - prev_t) + lam
-            total += min(cache_cost, transfer_cost, ship)
+    for col in range(k):
+        sel = member[:, col]
+        t_d = times[sel]
+        s_d = servers[sel]
+        cache, transfer = _single_sided_costs(s_d, t_d, seq.origin, mu, lam)
+        best = np.minimum(np.minimum(cache, transfer), ship)
+        total += float(best[~is_co[sel]].sum())
     return total

@@ -23,7 +23,7 @@ from ..cache.model import CostModel, RequestSequence, package_rate
 from ..core.baselines import solve_optimal_nonpacking, solve_package_served
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence, zipf_item_workload
-from .base import ExperimentResult
+from .base import ExperimentResult, record_engine_stats, sweep_memo
 
 __all__ = ["run_theta_ablation", "run_option_ablation", "run_packing_ablation"]
 
@@ -69,9 +69,18 @@ def run_theta_ablation(
     num_servers: int = 50,
     model: Optional[CostModel] = None,
     seed: int = 2019,
+    workers: Optional[int] = None,
+    memo: bool = False,
 ) -> ExperimentResult:
-    """Sweep the packing threshold over a mixed-similarity workload."""
+    """Sweep the packing threshold over a mixed-similarity workload.
+
+    ``workers``/``memo`` opt in to the Phase-2 execution engine.  A theta
+    sweep is the memo's best case: the workload is fixed, so every
+    singleton sub-problem (and every package that survives the higher
+    threshold) re-uses the DP solution from the previous theta point.
+    """
     model = model or CostModel(mu=3.0, lam=3.0)
+    memo_obj = sweep_memo(memo)
     seq = _mixed_similarity_workload(seed, n_per_pair, num_servers)
 
     result = ExperimentResult(
@@ -90,7 +99,9 @@ def run_theta_ablation(
 
     curve = []
     for theta in thetas:
-        res = solve_dp_greedy(seq, model, theta=theta, alpha=alpha)
+        res = solve_dp_greedy(
+            seq, model, theta=theta, alpha=alpha, workers=workers, memo=memo_obj
+        )
         curve.append((theta, res.ave_cost))
         result.rows.append(
             {
@@ -107,6 +118,7 @@ def run_theta_ablation(
         f"best theta on this workload: {best_theta:g} (ave_cost "
         f"{best_cost:.4f}); the paper's 0.3 reflects its own trace"
     )
+    record_engine_stats(result, memo_obj, workers)
     return result
 
 

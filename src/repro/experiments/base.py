@@ -15,7 +15,31 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..viz import ascii_line_plot, format_table, write_csv
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "sweep_memo", "record_engine_stats"]
+
+
+def sweep_memo(memo: bool):
+    """One fresh :class:`~repro.engine.memo.SolverMemo` per harness run.
+
+    Sweep harnesses share a single memo across every sweep point so that
+    sub-problems unchanged by the swept knob (theta/alpha) are solved
+    once; ``memo=False`` returns ``None`` (the legacy serial path)."""
+    if not memo:
+        return None
+    from ..engine.memo import SolverMemo
+
+    return SolverMemo()
+
+
+def record_engine_stats(result: "ExperimentResult", memo_obj, workers) -> None:
+    """Persist execution-engine observability knobs into ``result.params``."""
+    if workers is not None:
+        result.params["workers"] = workers
+    if memo_obj is not None:
+        stats = memo_obj.stats()
+        result.params["memo_hit_rate"] = round(stats["hit_rate"], 4)
+        result.params["memo_hits"] = int(stats["hits"])
+        result.params["memo_misses"] = int(stats["misses"])
 
 Row = Dict[str, Union[str, float, int]]
 Series = Dict[str, List[Tuple[float, float]]]

@@ -21,7 +21,7 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult
+from .base import ExperimentResult, record_engine_stats, sweep_memo
 
 __all__ = ["run_fig11", "DEFAULT_JACCARDS"]
 
@@ -40,9 +40,17 @@ def run_fig11(
     seed: int = 2019,
     repeats: int = 3,
     hotspot_skew: float = 0.15,
+    workers: Optional[int] = None,
+    memo: bool = False,
 ) -> ExperimentResult:
-    """Sweep the pair Jaccard similarity; report both algorithms' ave_cost."""
+    """Sweep the pair Jaccard similarity; report both algorithms' ave_cost.
+
+    ``workers``/``memo`` opt in to the Phase-2 execution engine; the memo
+    is shared across the whole sweep (identical sub-problems recur at
+    every similarity point since only the workload seed varies).
+    """
     model = model or CostModel(mu=3.0, lam=3.0)  # rho = 1 on the lam+mu=6 scale
+    memo_obj = sweep_memo(memo)
 
     result = ExperimentResult(
         experiment_id="fig11",
@@ -71,7 +79,9 @@ def run_fig11(
             seq = correlated_pair_sequence(
                 n_requests, num_servers, j_target, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
             )
-            dpg = solve_dp_greedy(seq, model, theta=0.0, alpha=alpha)
+            dpg = solve_dp_greedy(
+                seq, model, theta=0.0, alpha=alpha, workers=workers, memo=memo_obj
+            )
             opt = solve_optimal_nonpacking(seq, model)
             dpg_vals.append(dpg.ave_cost)
             opt_vals.append(opt.ave_cost)
@@ -98,4 +108,5 @@ def run_fig11(
             "(the paper observes ~0.3, motivating theta = 0.3)"
         )
         result.params["crossover_jaccard"] = crossover
+    record_engine_stats(result, memo_obj, workers)
     return result

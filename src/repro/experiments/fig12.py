@@ -19,7 +19,7 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult
+from .base import ExperimentResult, record_engine_stats, sweep_memo
 
 __all__ = ["run_fig12", "DEFAULT_RHOS"]
 
@@ -40,8 +40,16 @@ def run_fig12(
     seed: int = 2019,
     repeats: int = 3,
     hotspot_skew: float = 0.15,
+    workers: Optional[int] = None,
+    memo: bool = False,
 ) -> ExperimentResult:
-    """Sweep ``rho`` with ``lam + mu = rate_total``; report ave_cost curves."""
+    """Sweep ``rho`` with ``lam + mu = rate_total``; report ave_cost curves.
+
+    ``workers``/``memo`` opt in to the Phase-2 execution engine.  Note the
+    memo keys include ``(mu, lam)``, so a rho sweep only hits across its
+    ``repeats`` dimension, not across rho points.
+    """
+    memo_obj = sweep_memo(memo)
     result = ExperimentResult(
         experiment_id="fig12",
         title="Fig. 12 -- ave_cost of Optimal vs DP_Greedy under varying rho",
@@ -70,7 +78,9 @@ def run_fig12(
             seq = correlated_pair_sequence(
                 n_requests, num_servers, jaccard, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
             )
-            dpg = solve_dp_greedy(seq, model, theta=theta, alpha=alpha)
+            dpg = solve_dp_greedy(
+                seq, model, theta=theta, alpha=alpha, workers=workers, memo=memo_obj
+            )
             opt = solve_optimal_nonpacking(seq, model)
             dpg_vals.append(dpg.ave_cost)
             opt_vals.append(opt.ave_cost)
@@ -97,4 +107,5 @@ def run_fig12(
         f"DP_Greedy curve peaks at rho = {peak_rho:g} (ave_cost {peak_val:.3f}); "
         "the paper reports a parabola-like shape peaking around rho ~= 2"
     )
+    record_engine_stats(result, memo_obj, workers)
     return result

@@ -23,7 +23,7 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking, solve_package_served
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult
+from .base import ExperimentResult, record_engine_stats, sweep_memo
 
 __all__ = ["run_fig13", "DEFAULT_ALPHAS", "DEFAULT_JACCARDS"]
 
@@ -42,9 +42,17 @@ def run_fig13(
     seed: int = 2019,
     repeats: int = 3,
     hotspot_skew: float = 0.15,
+    workers: Optional[int] = None,
+    memo: bool = False,
 ) -> ExperimentResult:
-    """Sweep (alpha, jaccard); report the three algorithms' ave_cost."""
+    """Sweep (alpha, jaccard); report the three algorithms' ave_cost.
+
+    ``workers``/``memo`` opt in to the Phase-2 execution engine; the
+    alpha sweep re-solves identical singleton sub-problems at every
+    alpha, so the shared memo removes most DP work after the first pass.
+    """
     model = model or CostModel(mu=3.0, lam=3.0)
+    memo_obj = sweep_memo(memo)
 
     result = ExperimentResult(
         experiment_id="fig13",
@@ -78,7 +86,12 @@ def run_fig13(
                 ).ave_cost
                 sums["opt"] += solve_optimal_nonpacking(seq, model).ave_cost
                 sums["dpg"] += solve_dp_greedy(
-                    seq, model, theta=theta, alpha=alpha
+                    seq,
+                    model,
+                    theta=theta,
+                    alpha=alpha,
+                    workers=workers,
+                    memo=memo_obj,
                 ).ave_cost
             pkg = sums["pkg"] / repeats
             opt = sums["opt"] / repeats
@@ -115,4 +128,5 @@ def run_fig13(
                 f"alpha={alpha}: Package_Served is worst on "
                 f"{worst}/{len(jaccards)} similarity points (paper: worst overall)"
             )
+    record_engine_stats(result, memo_obj, workers)
     return result

@@ -21,7 +21,7 @@ from ..cache.model import CostModel
 from ..cache.optimal_dp import optimal_cost
 from ..core.approximation import ratio_certificate
 from ..trace.workload import correlated_pair_sequence, random_single_item_view
-from .base import ExperimentResult
+from .base import ExperimentResult, record_engine_stats, sweep_memo
 
 __all__ = ["run_ratio_study", "DEFAULT_ALPHAS"]
 
@@ -37,9 +37,17 @@ def run_ratio_study(
     num_servers: int = 10,
     model: Optional[CostModel] = None,
     seed: int = 7,
+    workers: Optional[int] = None,
+    memo: bool = False,
 ) -> ExperimentResult:
-    """Randomized stress of Theorem 1 and the greedy 2-approximation."""
+    """Randomized stress of Theorem 1 and the greedy 2-approximation.
+
+    ``workers``/``memo`` opt in to the Phase-2 execution engine; the
+    alpha sweep re-certifies the same trial workloads at every alpha, so
+    the shared memo skips the repeated singleton DP solves.
+    """
     model = model or CostModel(mu=1.0, lam=1.0)
+    memo_obj = sweep_memo(memo)
 
     result = ExperimentResult(
         experiment_id="ratio_study",
@@ -67,7 +75,9 @@ def run_ratio_study(
             seq = correlated_pair_sequence(
                 n_requests, num_servers, j_target, seed=seed + 97 * t
             )
-            cert = ratio_certificate(seq, model, theta=theta, alpha=alpha)
+            cert = ratio_certificate(
+                seq, model, theta=theta, alpha=alpha, workers=workers, memo=memo_obj
+            )
             worst = max(worst, cert.ratio)
             if not cert.satisfied:
                 violated += 1
@@ -103,6 +113,7 @@ def run_ratio_study(
     )
 
     _true_ratio_sweep(result, alphas, trials, seed)
+    record_engine_stats(result, memo_obj, workers)
     return result
 
 

@@ -1,0 +1,90 @@
+"""Tests of the content-addressed solver memo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.model import CostModel, SingleItemView
+from repro.engine.memo import SolverMemo, fingerprint_view, get_default_memo
+
+
+def _view(servers=(0, 1, 0), times=(1.0, 2.0, 3.5), m=2, origin=0):
+    return SingleItemView(
+        servers=servers, times=times, num_servers=m, origin=origin
+    )
+
+
+class TestFingerprint:
+    def test_deterministic(self, unit_model):
+        assert fingerprint_view(_view(), unit_model) == fingerprint_view(
+            _view(), unit_model
+        )
+
+    def test_sensitive_to_every_field(self, unit_model):
+        base = fingerprint_view(_view(), unit_model)
+        assert fingerprint_view(_view(servers=(0, 1, 1)), unit_model) != base
+        assert (
+            fingerprint_view(_view(times=(1.0, 2.0, 3.6)), unit_model) != base
+        )
+        assert fingerprint_view(_view(m=3), unit_model) != base
+        assert fingerprint_view(_view(origin=1), unit_model) != base
+        assert fingerprint_view(_view(), CostModel(mu=2.0, lam=1.0)) != base
+        assert fingerprint_view(_view(), unit_model, 0.5) != base
+
+    def test_accepts_request_sequence(self, unit_model):
+        from repro.cache.model import RequestSequence
+
+        seq = RequestSequence(
+            ((0, 1.0, {1}), (1, 2.0, {1})), num_servers=2, origin=0
+        )
+        assert fingerprint_view(seq, unit_model) == fingerprint_view(
+            seq.single_item_view(), unit_model
+        )
+
+
+class TestSolverMemo:
+    def test_miss_then_hit(self, unit_model):
+        memo = SolverMemo()
+        key = fingerprint_view(_view(), unit_model)
+        assert memo.get(key) is None
+        memo.put(key, 4.25)
+        assert memo.get(key) == 4.25
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert memo.hit_rate == pytest.approx(0.5)
+        assert len(memo) == 1
+
+    def test_eviction_is_fifo(self):
+        memo = SolverMemo(max_entries=2)
+        memo.put(b"a", 1.0)
+        memo.put(b"b", 2.0)
+        memo.put(b"c", 3.0)  # evicts the oldest entry, b"a"
+        assert memo.get(b"a") is None
+        assert memo.get(b"b") == 2.0
+        assert memo.get(b"c") == 3.0
+
+    def test_clear_resets_counters(self):
+        memo = SolverMemo()
+        memo.put(b"a", 1.0)
+        memo.get(b"a")
+        memo.clear()
+        assert len(memo) == 0
+        assert (memo.hits, memo.misses) == (0, 0)
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            SolverMemo(max_entries=0)
+
+    def test_default_memo_is_shared(self):
+        assert get_default_memo() is get_default_memo()
+
+    def test_stats_snapshot(self):
+        memo = SolverMemo()
+        memo.get(b"missing")
+        memo.put(b"k", 1.5)
+        memo.get(b"k")
+        assert memo.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+            "hit_rate": 0.5,
+        }

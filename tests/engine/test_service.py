@@ -28,6 +28,15 @@ class TestGreedyServicePass:
         v = SingleItemView(servers=(), times=(), num_servers=2, origin=0)
         assert greedy_service_pass(v, unit_model) == 0.0
 
+    def test_empty_short_circuits_before_any_indexing(self, unit_model):
+        # regression: the pass used to build its server index before
+        # noticing the view was empty; an absent item must cost 0.0
+        # without touching any per-request machinery
+        seq = running_example_sequence()
+        view = seq.restrict_to_item(item=999)
+        assert view.times == ()
+        assert greedy_service_pass(view, unit_model) == 0.0
+
     def test_zero_time_rejected(self, unit_model):
         from repro.cache.model import SingleItemView
 
