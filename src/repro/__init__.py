@@ -32,6 +32,10 @@ Subpackages
     workload generators (substitute for the proprietary trace of [20]).
 ``repro.experiments``
     One harness per paper figure (Figs. 9-13) plus the running example.
+``repro.obs``
+    Structured observability: the per-request cost ledger (with a
+    reconciliation self-audit), phase wall-time accumulators, and the
+    counter registry behind the ``METRICS_*.json`` artefacts.
 """
 
 from .cache import (
@@ -95,6 +99,13 @@ from .engine import (
     prev_same_server,
     serve_plan,
 )
+from .obs import (
+    CostLedger,
+    LedgerEntry,
+    LedgerReconciliationError,
+    MetricsCollector,
+    RunObservation,
+)
 from .viz import render_schedule
 
 __version__ = "1.0.0"
@@ -150,6 +161,12 @@ __all__ = [
     "fingerprint_view",
     "EngineStats",
     "serve_plan",
+    # observability
+    "CostLedger",
+    "LedgerEntry",
+    "LedgerReconciliationError",
+    "RunObservation",
+    "MetricsCollector",
     # extensions
     "HeteroCostModel",
     "hetero_brute_force",

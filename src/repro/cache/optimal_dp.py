@@ -52,7 +52,7 @@ import numpy as np
 from .model import CostModel, RequestSequence, SingleItemView
 from .schedule import CacheInterval, Schedule, Transfer
 
-__all__ = ["OptimalResult", "solve_optimal", "optimal_cost"]
+__all__ = ["OptimalResult", "solve_optimal", "optimal_cost", "attribute_cost"]
 
 _KEEP, _DROP, _NODECISION = 1, 0, -1
 
@@ -276,6 +276,58 @@ def _find_source(
         if iv.server != dst_server and iv.covers(t):
             return iv.server
     return None
+
+
+def attribute_cost(
+    view: "SingleItemView | RequestSequence",
+    model: CostModel,
+    result: OptimalResult,
+    *,
+    rate_multiplier: float = 1.0,
+) -> Tuple[Tuple[float, str, float], ...]:
+    """Decompose ``result.cost`` into per-request ``(time, action, amount)``.
+
+    The decomposition follows the DP's own charge structure, so it is
+    exact by construction (same terms, re-summed):
+
+    * a *keep* decision at event ``i`` charges ``mu * (t_j - t_i)`` as
+      ``"cache"`` at the successor request ``j = next(i)``;
+    * a *drop* decision charges ``lam`` as ``"transfer"`` at ``j``;
+    * every backbone gap ``(t_i, t_{i+1})`` charges ``mu * gap`` as
+      ``"backbone"`` at the request ending the gap;
+    * every first-on-server request charges ``lam`` as ``"first-copy"``.
+
+    All amounts carry ``rate_multiplier`` (pass the Table-II package rate
+    used for the solve).  Entries are sorted by time; :func:`math.fsum`
+    over the amounts reconciles with ``result.cost`` to float precision.
+    The consumer is the cost ledger (:mod:`repro.obs.ledger`).
+    """
+    if isinstance(view, RequestSequence):
+        view = view.single_item_view()
+    servers, times = _event_arrays(view)
+    n = len(times) - 1
+    if n == 0:
+        return ()
+    mu, lam = model.mu, model.lam
+    r = rate_multiplier
+
+    nxt = _next_same_server(servers)
+    entries: List[Tuple[float, str, float]] = []
+    for j in _first_on_server_transfers(servers, nxt):
+        entries.append((times[j], "first-copy", lam * r))
+    for i, dec in enumerate(result.decisions):
+        if dec == _NODECISION:
+            continue
+        j = nxt[i]
+        assert j is not None, "keep/drop decision at an event with no successor"
+        if dec == _KEEP:
+            entries.append((times[j], "cache", mu * (times[j] - times[i]) * r))
+        else:
+            entries.append((times[j], "transfer", lam * r))
+    for i in result.backbone_gaps:
+        entries.append((times[i + 1], "backbone", mu * (times[i + 1] - times[i]) * r))
+    entries.sort(key=lambda e: e[0])
+    return tuple(entries)
 
 
 def optimal_cost(

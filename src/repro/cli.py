@@ -48,9 +48,19 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the content-addressed solver memo (on by default)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "emit the repro.obs cost-attribution metrics (ledger + phase "
+            "timers + counters) as a METRICS_*.json artefact"
+        ),
+    )
 
 
-def _engine_kwargs(fn, workers: Optional[int], memo: bool) -> Dict[str, object]:
+def _engine_kwargs(
+    fn, workers: Optional[int], memo: bool, metrics: bool = False
+) -> Dict[str, object]:
     """Engine kwargs for harnesses that expose the knobs; {} otherwise."""
     params = inspect.signature(fn).parameters
     out: Dict[str, object] = {}
@@ -58,6 +68,8 @@ def _engine_kwargs(fn, workers: Optional[int], memo: bool) -> Dict[str, object]:
         out["workers"] = workers
     if "memo" in params and memo:
         out["memo"] = True
+    if "metrics" in params and metrics:
+        out["metrics"] = True
     return out
 
 
@@ -146,18 +158,29 @@ def _run_one(
     quick: bool,
     workers: Optional[int] = None,
     memo: bool = False,
+    metrics: bool = False,
 ) -> int:
     fn = ALL_EXPERIMENTS.get(name)
     if fn is None:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
     kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
-    kwargs.update(_engine_kwargs(fn, workers, memo))
+    kwargs.update(_engine_kwargs(fn, workers, memo, metrics))
     result = fn(**kwargs)
     print(result.report())
+    if out is None and result.metrics is not None:
+        # --metrics promises a METRICS_*.json artefact even without --out.
+        out = "results"
     if out:
         path = result.save(out)
         print(f"\nartefacts written to {path}/{result.experiment_id}.*")
+        if result.metrics is not None:
+            agg = result.metrics.get("aggregate", {})
+            print(
+                f"metrics: {path}/METRICS_{result.experiment_id}.json "
+                f"({agg.get('runs', 0)} observed runs, max reconciliation "
+                f"error {agg.get('max_reconciliation_error', 0.0):.2e})"
+            )
     return 0
 
 
@@ -184,6 +207,16 @@ def _solve_trace(args: argparse.Namespace) -> int:
             f"J(d{a},d{b})={j:.3f}" for j, a, b in top
         ))
 
+    obs = None
+    collector = None
+    if args.metrics:
+        from .obs import MetricsCollector
+
+        collector = MetricsCollector()
+        obs = collector.observe(
+            trace=args.trace, theta=args.theta, alpha=args.alpha
+        )
+
     dpg = solve_dp_greedy(
         seq,
         model,
@@ -191,6 +224,7 @@ def _solve_trace(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         workers=args.workers,
         memo=not args.no_memo,
+        obs=obs,
     )
     opt = solve_optimal_nonpacking(seq, model)
     pkg = solve_package_served(seq, model, theta=args.theta, alpha=args.alpha)
@@ -210,6 +244,26 @@ def _solve_trace(args: argparse.Namespace) -> int:
         {"algorithm": "Package_Served", "total_cost": pkg.total_cost,
          "ave_cost": pkg.ave_cost},
     ]))
+    if collector is not None:
+        from .obs import write_metrics
+
+        actions = obs.ledger.by_action()
+        print(
+            "\ncost attribution: "
+            + ", ".join(f"{a}={v:.3f}" for a, v in actions.items())
+        )
+        print(
+            "phase wall-times: "
+            + ", ".join(
+                f"{name}={rec['seconds'] * 1000:.2f}ms"
+                for name, rec in obs.timers.snapshot().items()
+            )
+        )
+        path = write_metrics(collector.snapshot(), "results/METRICS_solve.json")
+        print(
+            f"metrics: {path} (reconciliation error "
+            f"{obs.reconciliation_error:.2e})"
+        )
     return 0
 
 
@@ -269,18 +323,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             quick=args.quick,
             workers=args.workers,
             memo=not args.no_memo,
+            metrics=args.metrics,
         )
         print(f"report written to {path}")
         return 0
     if args.command == "run":
         workers, memo = args.workers, not args.no_memo
+        metrics = args.metrics
         if args.experiment == "all":
             rc = 0
             for name in ALL_EXPERIMENTS:
-                rc = max(rc, _run_one(name, args.out, args.quick, workers, memo))
+                rc = max(
+                    rc,
+                    _run_one(name, args.out, args.quick, workers, memo, metrics),
+                )
                 print()
             return rc
-        return _run_one(args.experiment, args.out, args.quick, workers, memo)
+        return _run_one(
+            args.experiment, args.out, args.quick, workers, memo, metrics
+        )
 
     parser.print_help()
     return 1

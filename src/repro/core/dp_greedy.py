@@ -32,6 +32,7 @@ The reported metric is ``ave_cost`` -- the total cost divided by
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -42,7 +43,7 @@ from ..cache.model import (
     SingleItemView,
     package_rate,
 )
-from ..cache.optimal_dp import solve_optimal
+from ..cache.optimal_dp import attribute_cost, solve_optimal
 from ..cache.schedule import Schedule
 from ..correlation.jaccard import CorrelationStats, correlation_stats
 from ..correlation.packing import (
@@ -65,6 +66,11 @@ __all__ = [
 MODE_CACHE, MODE_TRANSFER, MODE_PACKAGE = "cache", "transfer", "package"
 
 
+def _null_timer(name: str):
+    """Stand-in for ``obs.timers.time`` when observability is off."""
+    return nullcontext()
+
+
 @dataclass(frozen=True)
 class GroupReport:
     """Cost breakdown for one serving unit (package or singleton).
@@ -74,6 +80,13 @@ class GroupReport:
     ``single_sided_cost`` is the greedy total over one-item nodes of a
     package (zero for singletons).  ``modes`` records, per single-sided
     node in time order, which Observation-2 option won.
+
+    ``attribution`` (opt-in, ``attribute=True`` on the serve functions)
+    decomposes ``package_cost`` into per-request ``(time, action,
+    amount)`` ledger charges via
+    :func:`repro.cache.optimal_dp.attribute_cost`; together with
+    ``modes`` it accounts for every unit of ``total`` (the cost ledger
+    of :mod:`repro.obs` consumes both).
     """
 
     group: FrozenSet[int]
@@ -83,6 +96,7 @@ class GroupReport:
     num_single_sided: int
     modes: Tuple[Tuple[float, str, float], ...]  # (time, mode, cost)
     package_schedule: Optional[Schedule] = None
+    attribution: Optional[Tuple[Tuple[float, str, float], ...]] = None
 
     @property
     def total(self) -> float:
@@ -139,6 +153,8 @@ def serve_singleton(
     build_schedule: bool = False,
     sub: Optional[RequestSequence] = None,
     dp_cost: Optional[float] = None,
+    dp_attribution: Optional[Tuple[Tuple[float, str, float], ...]] = None,
+    attribute: bool = False,
 ) -> GroupReport:
     """Serve one unpacked item with the optimal off-line algorithm.
 
@@ -146,17 +162,26 @@ def serve_singleton(
     execution engine, which restricts once to fingerprint the
     sub-problem) skip the second scan; ``dp_cost`` injects a memoised
     solver result so the DP is skipped entirely (cost-only mode: the two
-    are mutually exclusive with ``build_schedule=True``).
+    are mutually exclusive with ``build_schedule=True``).  ``attribute``
+    additionally decomposes the DP cost into per-request ledger charges
+    (with ``dp_cost`` injection the matching ``dp_attribution`` must be
+    supplied -- the memo stores both together).
     """
     if sub is None:
         sub = seq.restrict_to_item(item)
     if dp_cost is not None:
         if build_schedule:
             raise ValueError("dp_cost injection is cost-only")
+        if attribute and dp_attribution is None:
+            raise ValueError(
+                "attribution requested but the injected dp_cost carries none"
+            )
         cost, schedule = dp_cost, None
+        attribution = dp_attribution if attribute else None
     else:
         res = solve_optimal(sub, model, build_schedule=build_schedule)
         cost, schedule = res.cost, res.schedule
+        attribution = attribute_cost(sub, model, res) if attribute else None
     return GroupReport(
         group=frozenset((item,)),
         package_cost=cost,
@@ -165,6 +190,7 @@ def serve_singleton(
         num_single_sided=0,
         modes=(),
         package_schedule=schedule,
+        attribution=attribution,
     )
 
 
@@ -249,6 +275,8 @@ def serve_package(
     *,
     build_schedule: bool = False,
     dp_cost: Optional[float] = None,
+    dp_attribution: Optional[Tuple[Tuple[float, str, float], ...]] = None,
+    attribute: bool = False,
 ) -> GroupReport:
     """Serve one package per Phase 2 of Algorithm 1.
 
@@ -261,6 +289,10 @@ def serve_package(
     ``dp_cost`` injects a memoised co-occurrence DP result (cost-only:
     incompatible with ``build_schedule=True``); the single-sided greedy
     pass always runs, it is cheap and carries the per-node mode ledger.
+    ``attribute`` decomposes the co-occurrence DP cost into per-request
+    ledger charges at package rate (the single-sided charges are already
+    carried by ``modes``); with ``dp_cost`` injection the matching
+    ``dp_attribution`` must be supplied.
     """
     k = len(package)
     if k < 2:
@@ -273,7 +305,12 @@ def serve_package(
     if dp_cost is not None:
         if build_schedule:
             raise ValueError("dp_cost injection is cost-only")
+        if attribute and dp_attribution is None:
+            raise ValueError(
+                "attribution requested but the injected dp_cost carries none"
+            )
         dp_total, dp_schedule = dp_cost, None
+        attribution = dp_attribution if attribute else None
     else:
         # The package is one pseudo-item: project the co-occurrence nodes
         # to a bare (server, time) trajectory and run the optimal DP at
@@ -288,6 +325,11 @@ def serve_package(
             pseudo, model, build_schedule=build_schedule, rate_multiplier=rate
         )
         dp_total, dp_schedule = dp.cost, dp.schedule
+        attribution = (
+            attribute_cost(pseudo, model, dp, rate_multiplier=rate)
+            if attribute
+            else None
+        )
 
     # --- greedy pass over partial nodes (Observation 2) ----------------
     single_cost = 0.0
@@ -307,6 +349,7 @@ def serve_package(
         num_single_sided=n_partial,
         modes=tuple(modes),
         package_schedule=dp_schedule,
+        attribution=attribution,
     )
 
 
@@ -323,6 +366,8 @@ def solve_dp_greedy(
     parallel: bool = False,
     workers: Optional[int] = None,
     memo: "object | bool | None" = None,
+    pool: Optional[str] = None,
+    obs: "object | None" = None,
 ) -> DPGreedyResult:
     """Run the full two-phase DP_Greedy algorithm on ``seq``.
 
@@ -341,67 +386,110 @@ def solve_dp_greedy(
         skipped and the plan is served as-is (used by the robustness
         study, which plans on a *predicted* trajectory and serves the
         true one).  The plan's items must cover exactly ``seq``'s items.
-    parallel / workers / memo:
+    parallel / workers / memo / pool:
         Opt-in to the Phase-2 execution engine
         (:func:`repro.engine.parallel.serve_plan`).  ``parallel=True``
         auto-detects the pool from the workload; ``workers`` pins the
         pool width (``workers=1`` reproduces the serial loop
         bit-for-bit); ``memo`` is a
         :class:`~repro.engine.memo.SolverMemo` shared across calls (or
-        ``True`` for the process-wide default memo).  With all three at
-        their defaults the classic serial path runs untouched.
+        ``True`` for the process-wide default memo); ``pool`` forces a
+        backend (``"serial"``/``"thread"``/``"process"``) instead of the
+        size heuristic.  With all four at their defaults the classic
+        serial path runs untouched.
+    obs:
+        Optional :class:`~repro.obs.RunObservation`.  When given, Phase-1
+        and Phase-2 wall times are accumulated in ``obs.timers``, every
+        serving unit is asked for its per-request cost attribution, the
+        resulting ledger is reconciled against ``total_cost`` (raising
+        :class:`~repro.obs.LedgerReconciliationError` on any gap), and
+        engine/memo counters are absorbed into ``obs.counters``.  With
+        ``obs=None`` (default) no attribution work happens at all.
     """
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
-    stats = correlation_stats(seq)
-    if plan is not None:
-        plan_items = {d for p in plan.packages for d in p} | set(plan.singletons)
-        if plan_items != set(seq.items):
-            raise ValueError(
-                "externally supplied plan does not cover the sequence's items"
-            )
-    elif packing == "pairs":
-        plan = greedy_pair_packing(stats, theta)
-    elif packing == "groups":
-        plan = greedy_group_packing(stats, theta, max_group_size)
-    else:
-        raise ValueError(f"unknown packing mode {packing!r}")
+    observe = obs is not None
+    timed = obs.timers.time if observe else _null_timer
+
+    with timed("phase1.similarity"):
+        stats = correlation_stats(seq)
+    with timed("phase1.packing"):
+        if plan is not None:
+            plan_items = {d for p in plan.packages for d in p} | set(plan.singletons)
+            if plan_items != set(seq.items):
+                raise ValueError(
+                    "externally supplied plan does not cover the sequence's items"
+                )
+        elif packing == "pairs":
+            plan = greedy_pair_packing(stats, theta)
+        elif packing == "groups":
+            plan = greedy_group_packing(stats, theta, max_group_size)
+        else:
+            raise ValueError(f"unknown packing mode {packing!r}")
 
     engine_stats = None
-    use_engine = parallel or workers is not None or memo not in (None, False)
+    memo_obj = None
+    use_engine = (
+        parallel
+        or workers is not None
+        or pool is not None
+        or memo not in (None, False)
+    )
     if use_engine:
         from ..engine.memo import SolverMemo, get_default_memo
         from ..engine.parallel import serve_plan
 
         if memo is True:
-            memo_obj: Optional[SolverMemo] = get_default_memo()
+            memo_obj = get_default_memo()
         elif memo in (None, False):
             memo_obj = None
         elif isinstance(memo, SolverMemo):
             memo_obj = memo
         else:
             raise TypeError("memo must be a SolverMemo, True, False, or None")
-        reports, engine_stats = serve_plan(
-            seq,
-            plan,
-            model,
-            alpha,
-            workers=workers,
-            memo=memo_obj,
-            build_schedules=build_schedules,
-        )
+        with timed("phase2.serve"):
+            reports, engine_stats = serve_plan(
+                seq,
+                plan,
+                model,
+                alpha,
+                workers=workers,
+                memo=memo_obj,
+                build_schedules=build_schedules,
+                pool=pool,
+                attribute=observe,
+            )
     else:
         reports = []
         for pkg in plan.packages:
-            reports.append(
-                serve_package(seq, pkg, model, alpha, build_schedule=build_schedules)
-            )
+            with timed("phase2.serve"):
+                reports.append(
+                    serve_package(
+                        seq,
+                        pkg,
+                        model,
+                        alpha,
+                        build_schedule=build_schedules,
+                        attribute=observe,
+                    )
+                )
         for d in plan.singletons:
-            reports.append(
-                serve_singleton(seq, d, model, build_schedule=build_schedules)
-            )
+            with timed("phase2.serve"):
+                reports.append(
+                    serve_singleton(
+                        seq,
+                        d,
+                        model,
+                        build_schedule=build_schedules,
+                        attribute=observe,
+                    )
+                )
 
     total = sum(r.total for r in reports)
+    if observe:
+        obs.finalize(
+            seq, reports, total, engine_stats=engine_stats, memo=memo_obj
+        )
     return DPGreedyResult(
         plan=plan,
         stats=stats,

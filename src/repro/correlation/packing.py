@@ -16,6 +16,7 @@ greedily while every new member keeps min-linkage similarity above
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from .jaccard import CorrelationStats
@@ -42,14 +43,20 @@ class PackingPlan:
         """All serving units: packages first, then singleton groups."""
         return self.packages + tuple(frozenset((d,)) for d in self.singletons)
 
+    @cached_property
+    def _package_index(self) -> Dict[int, FrozenSet[int]]:
+        # Built lazily on first lookup (cached_property writes through
+        # __dict__, which the frozen dataclass permits); packages are
+        # disjoint, so the map is well-defined.  Phase-2 loops call
+        # package_of/is_packed per request, and the old O(#packages)
+        # scans made those loops quadratic in the package count.
+        return {d: p for p in self.packages for d in p}
+
     def package_of(self, item: int) -> FrozenSet[int]:
-        for p in self.packages:
-            if item in p:
-                return p
-        return frozenset((item,))
+        return self._package_index.get(item, frozenset((item,)))
 
     def is_packed(self, item: int) -> bool:
-        return any(item in p for p in self.packages)
+        return item in self._package_index
 
 
 def greedy_pair_packing(stats: CorrelationStats, theta: float) -> PackingPlan:

@@ -81,7 +81,10 @@ class SolverMemo:
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive or None")
         self.max_entries = max_entries
-        self._entries: Dict[bytes, float] = {}
+        # key -> (cost, attribution-or-None); the attribution payload is
+        # the (time, action, amount) charge tuple of the cost ledger,
+        # stored so observed runs can hit the memo too.
+        self._entries: Dict[bytes, Tuple[float, Optional[tuple]]] = {}
         self._hits = 0
         self._misses = 0
         self._lock = threading.Lock()
@@ -96,25 +99,44 @@ class SolverMemo:
         return fingerprint_view(view, model, rate_multiplier)
 
     # -- storage ---------------------------------------------------------
-    def get(self, key: bytes) -> Optional[float]:
-        """Look up a cost; counts a hit or a miss."""
-        with self._lock:
-            cost = self._entries.get(key)
-            if cost is None:
-                self._misses += 1
-            else:
-                self._hits += 1
-            return cost
+    def get(
+        self, key: bytes, *, with_attribution: bool = False
+    ) -> "Optional[float] | Optional[Tuple[float, tuple]]":
+        """Look up a cost; counts a hit or a miss.
 
-    def put(self, key: bytes, cost: float) -> None:
+        ``with_attribution=True`` returns the full ``(cost,
+        attribution)`` entry and treats entries stored without an
+        attribution payload as misses -- an observed run must never
+        receive a cost it cannot ledger.
+        """
         with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or (with_attribution and entry[1] is None):
+                self._misses += 1
+                return None
+            self._hits += 1
+            return entry if with_attribution else entry[0]
+
+    def put(
+        self, key: bytes, cost: float, attribution: Optional[tuple] = None
+    ) -> None:
+        """Store a solver cost, optionally with its ledger attribution.
+
+        Re-putting a key without an attribution keeps any payload already
+        stored (the cost for a given fingerprint is unique, so the old
+        attribution stays valid).
+        """
+        with self._lock:
+            prev = self._entries.get(key)
             if (
                 self.max_entries is not None
-                and key not in self._entries
+                and prev is None
                 and len(self._entries) >= self.max_entries
             ):
                 self._entries.pop(next(iter(self._entries)))
-            self._entries[key] = cost
+            if attribution is None and prev is not None:
+                attribution = prev[1]
+            self._entries[key] = (cost, attribution)
 
     def clear(self) -> None:
         with self._lock:
@@ -123,21 +145,28 @@ class SolverMemo:
             self._misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # -- observability ---------------------------------------------------
+    # Every counter read takes the lock: unlocked reads of mutating state
+    # can observe torn (hits, misses) pairs mid-update under thread-pool
+    # runs, which stats() already guarded against.
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def hit_rate(self) -> float:
-        total = self._hits + self._misses
-        return self._hits / total if total else 0.0
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
         """Counters snapshot: ``{hits, misses, entries, hit_rate}``."""

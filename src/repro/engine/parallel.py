@@ -109,13 +109,21 @@ def _serve_unit(
     model: CostModel,
     alpha: float,
     build_schedules: bool,
+    attribute: bool = False,
 ) -> GroupReport:
     kind, payload = spec
     if kind == "package":
         return serve_package(
-            seq, frozenset(payload), model, alpha, build_schedule=build_schedules
+            seq,
+            frozenset(payload),
+            model,
+            alpha,
+            build_schedule=build_schedules,
+            attribute=attribute,
         )
-    return serve_singleton(seq, payload, model, build_schedule=build_schedules)
+    return serve_singleton(
+        seq, payload, model, build_schedule=build_schedules, attribute=attribute
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -126,15 +134,19 @@ _WORKER_ARGS: Tuple = ()
 
 
 def _init_worker(
-    seq: RequestSequence, model: CostModel, alpha: float, build_schedules: bool
+    seq: RequestSequence,
+    model: CostModel,
+    alpha: float,
+    build_schedules: bool,
+    attribute: bool,
 ) -> None:
     global _WORKER_ARGS
-    _WORKER_ARGS = (seq, model, alpha, build_schedules)
+    _WORKER_ARGS = (seq, model, alpha, build_schedules, attribute)
 
 
 def _serve_unit_in_worker(spec: _UnitSpec) -> GroupReport:
-    seq, model, alpha, build_schedules = _WORKER_ARGS
-    return _serve_unit(seq, spec, model, alpha, build_schedules)
+    seq, model, alpha, build_schedules, attribute = _WORKER_ARGS
+    return _serve_unit(seq, spec, model, alpha, build_schedules, attribute)
 
 
 # ---------------------------------------------------------------------------
@@ -146,21 +158,33 @@ def _memo_probe(
     model: CostModel,
     alpha: float,
     memo: SolverMemo,
+    attribute: bool = False,
 ) -> Tuple[Optional[GroupReport], Optional[bytes]]:
     """Try to serve one unit from the memo.
 
     Returns ``(report, None)`` on a hit and ``(None, key)`` on a miss;
-    the key is re-used after the real solve to store the DP cost.
+    the key is re-used after the real solve to store the DP cost.  Under
+    ``attribute=True`` only entries carrying a ledger attribution count
+    as hits (the memo stores cost and attribution together).
     """
     kind, payload = spec
     if kind == "singleton":
         sub = seq.restrict_to_item(payload)
         key = fingerprint_view(sub, model, 1.0)
-        cost = memo.get(key)
-        if cost is None:
+        entry = memo.get(key, with_attribution=attribute)
+        if entry is None:
             return None, key
+        cost, attr = entry if attribute else (entry, None)
         return (
-            serve_singleton(seq, payload, model, sub=sub, dp_cost=cost),
+            serve_singleton(
+                seq,
+                payload,
+                model,
+                sub=sub,
+                dp_cost=cost,
+                dp_attribution=attr,
+                attribute=attribute,
+            ),
             None,
         )
     package = frozenset(payload)
@@ -172,10 +196,22 @@ def _memo_probe(
         origin=co_view.origin,
     )
     key = fingerprint_view(pseudo, model, package_rate(len(package), alpha))
-    cost = memo.get(key)
-    if cost is None:
+    entry = memo.get(key, with_attribution=attribute)
+    if entry is None:
         return None, key
-    return serve_package(seq, package, model, alpha, dp_cost=cost), None
+    cost, attr = entry if attribute else (entry, None)
+    return (
+        serve_package(
+            seq,
+            package,
+            model,
+            alpha,
+            dp_cost=cost,
+            dp_attribution=attr,
+            attribute=attribute,
+        ),
+        None,
+    )
 
 
 def _unit_sizes(seq: RequestSequence, units: Sequence[_UnitSpec]) -> List[int]:
@@ -220,6 +256,7 @@ def _make_executor(
     model: CostModel,
     alpha: float,
     build_schedules: bool,
+    attribute: bool,
 ) -> Executor:
     if kind == "thread":
         return ThreadPoolExecutor(max_workers=workers)
@@ -229,7 +266,7 @@ def _make_executor(
         max_workers=workers,
         mp_context=ctx,
         initializer=_init_worker,
-        initargs=(seq, model, alpha, build_schedules),
+        initargs=(seq, model, alpha, build_schedules, attribute),
     )
 
 
@@ -243,6 +280,7 @@ def serve_plan(
     memo: Optional[SolverMemo] = None,
     build_schedules: bool = False,
     pool: Optional[str] = None,
+    attribute: bool = False,
 ) -> Tuple[List[GroupReport], EngineStats]:
     """Serve every unit of ``plan``; return reports in serial order.
 
@@ -259,6 +297,11 @@ def serve_plan(
     pool:
         Force a backend (``"serial"``/``"thread"``/``"process"``)
         instead of the size heuristic; used by tests and benchmarks.
+    attribute:
+        Ask every serving unit for its per-request cost attribution (the
+        ledger charges of :mod:`repro.obs`).  Memo entries then store
+        cost and attribution together, and only entries carrying an
+        attribution count as hits.
     """
     units = _plan_units(plan)
     n_packages = len(plan.packages)
@@ -270,7 +313,7 @@ def serve_plan(
     hits = 0
     if use_memo:
         for idx, spec in enumerate(units):
-            report, key = _memo_probe(seq, spec, model, alpha, memo)
+            report, key = _memo_probe(seq, spec, model, alpha, memo, attribute)
             if report is not None:
                 reports[idx] = report
                 hits += 1
@@ -285,16 +328,20 @@ def serve_plan(
 
     if kind == "serial":
         for idx in pending:
-            reports[idx] = _serve_unit(seq, units[idx], model, alpha, build_schedules)
+            reports[idx] = _serve_unit(
+                seq, units[idx], model, alpha, build_schedules, attribute
+            )
     else:
         specs = [units[i] for i in pending]
         chunksize = max(1, len(specs) // (4 * workers_used))
         with _make_executor(
-            kind, workers_used, seq, model, alpha, build_schedules
+            kind, workers_used, seq, model, alpha, build_schedules, attribute
         ) as ex:
             if kind == "thread":
                 results = ex.map(
-                    lambda spec: _serve_unit(seq, spec, model, alpha, build_schedules),
+                    lambda spec: _serve_unit(
+                        seq, spec, model, alpha, build_schedules, attribute
+                    ),
                     specs,
                 )
             else:
@@ -304,7 +351,11 @@ def serve_plan(
 
     if use_memo:
         for idx in pending:
-            memo.put(miss_keys[idx], reports[idx].package_cost)
+            memo.put(
+                miss_keys[idx],
+                reports[idx].package_cost,
+                attribution=reports[idx].attribution if attribute else None,
+            )
 
     stats = EngineStats(
         units=len(units),

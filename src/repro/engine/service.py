@@ -143,6 +143,12 @@ def package_service_pass(
     n = len(nodes)
     if n == 0:
         return 0.0
+    if nodes.times[0] <= 0:
+        # Same contract as greedy_service_pass and the single-item
+        # solvers: time 0 is the initial placement instant, so a t <= 0
+        # request would silently produce wrong cache costs (the origin
+        # cache term mu * t_i collapses to zero) instead of failing.
+        raise ValueError("request times must be strictly positive")
     servers = np.asarray(nodes.servers, dtype=np.int64)
     times = np.asarray(nodes.times, dtype=np.float64)
     # nodes' item sets are already intersected with the package, so a node

@@ -9,13 +9,19 @@ paper figure exists exactly once.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..viz import ascii_line_plot, format_table, write_csv
 
-__all__ = ["ExperimentResult", "sweep_memo", "record_engine_stats"]
+__all__ = [
+    "ExperimentResult",
+    "sweep_memo",
+    "sweep_metrics",
+    "record_engine_stats",
+]
 
 
 def sweep_memo(memo: bool):
@@ -29,6 +35,21 @@ def sweep_memo(memo: bool):
     from ..engine.memo import SolverMemo
 
     return SolverMemo()
+
+
+def sweep_metrics(metrics: bool):
+    """One :class:`~repro.obs.MetricsCollector` per harness run, or ``None``.
+
+    A harness with ``metrics=True`` tags one
+    :class:`~repro.obs.RunObservation` per ``(sweep point, repeat)`` via
+    ``collector.observe(...)`` and stores ``collector.snapshot()`` in
+    ``result.metrics``; :meth:`ExperimentResult.save` then writes the
+    ``METRICS_<id>.json`` artefact."""
+    if not metrics:
+        return None
+    from ..obs import MetricsCollector
+
+    return MetricsCollector()
 
 
 def record_engine_stats(result: "ExperimentResult", memo_obj, workers) -> None:
@@ -63,6 +84,10 @@ class ExperimentResult:
         The parameter values the harness ran with.
     notes:
         Free-form observations (e.g. where the crossover landed).
+    metrics:
+        Optional ``repro.obs`` metrics snapshot (the
+        :meth:`~repro.obs.MetricsCollector.snapshot` payload); persisted
+        as ``METRICS_<experiment_id>.json`` by :meth:`save`.
     """
 
     experiment_id: str
@@ -73,6 +98,7 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     xlabel: str = "x"
     ylabel: str = "y"
+    metrics: Optional[Dict[str, object]] = None
 
     def table(self) -> str:
         return format_table(self.rows)
@@ -107,10 +133,15 @@ class ExperimentResult:
         return "\n\n".join(parts)
 
     def save(self, out_dir: Union[str, Path]) -> Path:
-        """Persist CSV rows and the text report under ``out_dir``."""
+        """Persist CSV rows, the text report, and any metrics snapshot
+        (``METRICS_<experiment_id>.json``) under ``out_dir``."""
         out = Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
         if self.rows:
             write_csv(out / f"{self.experiment_id}.csv", self.rows)
         (out / f"{self.experiment_id}.txt").write_text(self.report() + "\n")
+        if self.metrics is not None:
+            (out / f"METRICS_{self.experiment_id}.json").write_text(
+                json.dumps(self.metrics, indent=2, sort_keys=True) + "\n"
+            )
         return out

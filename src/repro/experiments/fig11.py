@@ -21,7 +21,7 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult, record_engine_stats, sweep_memo
+from .base import ExperimentResult, record_engine_stats, sweep_memo, sweep_metrics
 
 __all__ = ["run_fig11", "DEFAULT_JACCARDS"]
 
@@ -42,15 +42,19 @@ def run_fig11(
     hotspot_skew: float = 0.15,
     workers: Optional[int] = None,
     memo: bool = False,
+    metrics: bool = False,
 ) -> ExperimentResult:
     """Sweep the pair Jaccard similarity; report both algorithms' ave_cost.
 
     ``workers``/``memo`` opt in to the Phase-2 execution engine; the memo
     is shared across the whole sweep (identical sub-problems recur at
     every similarity point since only the workload seed varies).
+    ``metrics`` turns on the ``repro.obs`` cost ledger / phase timers
+    per DP_Greedy run and stores the snapshot in ``result.metrics``.
     """
     model = model or CostModel(mu=3.0, lam=3.0)  # rho = 1 on the lam+mu=6 scale
     memo_obj = sweep_memo(memo)
+    collector = sweep_metrics(metrics)
 
     result = ExperimentResult(
         experiment_id="fig11",
@@ -79,8 +83,19 @@ def run_fig11(
             seq = correlated_pair_sequence(
                 n_requests, num_servers, j_target, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
             )
+            obs = (
+                collector.observe(jaccard=j_target, repeat=r)
+                if collector
+                else None
+            )
             dpg = solve_dp_greedy(
-                seq, model, theta=0.0, alpha=alpha, workers=workers, memo=memo_obj
+                seq,
+                model,
+                theta=0.0,
+                alpha=alpha,
+                workers=workers,
+                memo=memo_obj,
+                obs=obs,
             )
             opt = solve_optimal_nonpacking(seq, model)
             dpg_vals.append(dpg.ave_cost)
@@ -109,4 +124,6 @@ def run_fig11(
         )
         result.params["crossover_jaccard"] = crossover
     record_engine_stats(result, memo_obj, workers)
+    if collector:
+        result.metrics = collector.snapshot()
     return result

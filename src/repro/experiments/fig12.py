@@ -19,7 +19,7 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult, record_engine_stats, sweep_memo
+from .base import ExperimentResult, record_engine_stats, sweep_memo, sweep_metrics
 
 __all__ = ["run_fig12", "DEFAULT_RHOS"]
 
@@ -42,14 +42,17 @@ def run_fig12(
     hotspot_skew: float = 0.15,
     workers: Optional[int] = None,
     memo: bool = False,
+    metrics: bool = False,
 ) -> ExperimentResult:
     """Sweep ``rho`` with ``lam + mu = rate_total``; report ave_cost curves.
 
     ``workers``/``memo`` opt in to the Phase-2 execution engine.  Note the
     memo keys include ``(mu, lam)``, so a rho sweep only hits across its
-    ``repeats`` dimension, not across rho points.
+    ``repeats`` dimension, not across rho points.  ``metrics`` turns on
+    the ``repro.obs`` ledger/timer snapshot per DP_Greedy run.
     """
     memo_obj = sweep_memo(memo)
+    collector = sweep_metrics(metrics)
     result = ExperimentResult(
         experiment_id="fig12",
         title="Fig. 12 -- ave_cost of Optimal vs DP_Greedy under varying rho",
@@ -78,8 +81,15 @@ def run_fig12(
             seq = correlated_pair_sequence(
                 n_requests, num_servers, jaccard, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
             )
+            obs = collector.observe(rho=rho, repeat=r) if collector else None
             dpg = solve_dp_greedy(
-                seq, model, theta=theta, alpha=alpha, workers=workers, memo=memo_obj
+                seq,
+                model,
+                theta=theta,
+                alpha=alpha,
+                workers=workers,
+                memo=memo_obj,
+                obs=obs,
             )
             opt = solve_optimal_nonpacking(seq, model)
             dpg_vals.append(dpg.ave_cost)
@@ -108,4 +118,6 @@ def run_fig12(
         "the paper reports a parabola-like shape peaking around rho ~= 2"
     )
     record_engine_stats(result, memo_obj, workers)
+    if collector:
+        result.metrics = collector.snapshot()
     return result

@@ -23,7 +23,7 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking, solve_package_served
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult, record_engine_stats, sweep_memo
+from .base import ExperimentResult, record_engine_stats, sweep_memo, sweep_metrics
 
 __all__ = ["run_fig13", "DEFAULT_ALPHAS", "DEFAULT_JACCARDS"]
 
@@ -44,15 +44,19 @@ def run_fig13(
     hotspot_skew: float = 0.15,
     workers: Optional[int] = None,
     memo: bool = False,
+    metrics: bool = False,
 ) -> ExperimentResult:
     """Sweep (alpha, jaccard); report the three algorithms' ave_cost.
 
     ``workers``/``memo`` opt in to the Phase-2 execution engine; the
     alpha sweep re-solves identical singleton sub-problems at every
     alpha, so the shared memo removes most DP work after the first pass.
+    ``metrics`` turns on the ``repro.obs`` ledger/timer snapshot per
+    DP_Greedy run.
     """
     model = model or CostModel(mu=3.0, lam=3.0)
     memo_obj = sweep_memo(memo)
+    collector = sweep_metrics(metrics)
 
     result = ExperimentResult(
         experiment_id="fig13",
@@ -85,6 +89,11 @@ def run_fig13(
                     seq, model, theta=0.0, alpha=alpha
                 ).ave_cost
                 sums["opt"] += solve_optimal_nonpacking(seq, model).ave_cost
+                obs = (
+                    collector.observe(alpha=alpha, jaccard=j_target, repeat=r)
+                    if collector
+                    else None
+                )
                 sums["dpg"] += solve_dp_greedy(
                     seq,
                     model,
@@ -92,6 +101,7 @@ def run_fig13(
                     alpha=alpha,
                     workers=workers,
                     memo=memo_obj,
+                    obs=obs,
                 ).ave_cost
             pkg = sums["pkg"] / repeats
             opt = sums["opt"] / repeats
@@ -129,4 +139,6 @@ def run_fig13(
                 f"{worst}/{len(jaccards)} similarity points (paper: worst overall)"
             )
     record_engine_stats(result, memo_obj, workers)
+    if collector:
+        result.metrics = collector.snapshot()
     return result

@@ -1,0 +1,47 @@
+"""repro.obs: structured observability for the DP_Greedy pipeline.
+
+The subsystem has three legs, assembled per run by
+:class:`~repro.obs.metrics.RunObservation`:
+
+* the **cost ledger** (:mod:`repro.obs.ledger`) attributes every charged
+  unit of cost to ``(serving unit, request index, action)`` with action
+  in ``{cache, transfer, ship, backbone, first-copy}`` and asserts the
+  attributed total reconciles with the reported scalar cost;
+* the **phase timers** (:mod:`repro.obs.timers`) accumulate wall time
+  for Phase-1 similarity/packing and Phase-2 per-unit solves;
+* the **counter registry** (:mod:`repro.obs.counters`) absorbs
+  ``EngineStats`` and ``SolverMemo`` counters into one namespaced map.
+
+Emission is strictly opt-in: pass ``obs=RunObservation()`` to
+:func:`repro.core.dp_greedy.solve_dp_greedy` (or ``metrics=True`` to a
+sweep harness, or ``--metrics`` on the CLI).  When no observer is given
+the hot paths run untouched.
+"""
+
+from .counters import CounterRegistry
+from .ledger import (
+    ACTIONS,
+    CostLedger,
+    LedgerEntry,
+    LedgerReconciliationError,
+)
+from .metrics import (
+    METRICS_SCHEMA,
+    MetricsCollector,
+    RunObservation,
+    write_metrics,
+)
+from .timers import PhaseTimers
+
+__all__ = [
+    "ACTIONS",
+    "CostLedger",
+    "LedgerEntry",
+    "LedgerReconciliationError",
+    "CounterRegistry",
+    "PhaseTimers",
+    "METRICS_SCHEMA",
+    "MetricsCollector",
+    "RunObservation",
+    "write_metrics",
+]

@@ -1,0 +1,171 @@
+"""The cost ledger: every charged unit of cost, attributed.
+
+The paper's whole evaluation (Figs. 9-13, Table III) is about *where the
+money goes* -- caching vs. transferring vs. shipping packages -- yet a
+scalar ``total_cost`` cannot answer that question.  The ledger records
+one :class:`LedgerEntry` per elementary charge, keyed by
+
+* the **serving unit** (package or singleton) that incurred it,
+* the **request index** in the original sequence the charge serves, and
+* the **action** that was paid for.
+
+The five actions partition every cost the algorithms can charge:
+
+``cache``
+    Holding a copy between two same-server requests (a DP *keep*
+    decision, or an Observation-2 cache win on a single-sided node).
+``transfer``
+    Moving a copy between servers at a request instant (a DP *drop*
+    decision's replacement transfer, or an Observation-2 transfer win).
+``ship``
+    Observation 2's constant package-ship option (``alpha * k * lam``).
+``backbone``
+    The persistence charge spanning an inter-event gap not covered by
+    any kept interval (the item can never be resurrected).
+``first-copy``
+    The mandatory ``lam`` paid by a request with no same-server
+    predecessor (its first copy arrives by transfer).
+
+Because entries are recorded *from the solver's own decision path* (see
+:func:`repro.cache.optimal_dp.attribute_cost`), their sum reconciles
+with the reported scalar total to float precision -- :meth:`reconcile`
+turns that identity into a hard invariant, making every observed run a
+self-audit of the cost accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "ACTIONS",
+    "LedgerEntry",
+    "LedgerReconciliationError",
+    "CostLedger",
+]
+
+#: The closed set of ledger actions (see module docstring).
+ACTIONS = ("cache", "transfer", "ship", "backbone", "first-copy")
+
+_ACTION_SET = frozenset(ACTIONS)
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerEntry:
+    """One elementary charge: ``unit`` paid ``amount`` for ``action``
+    while serving the request at ``request_index``."""
+
+    unit: Tuple[int, ...]
+    request_index: int
+    action: str
+    amount: float
+
+
+class LedgerReconciliationError(ValueError):
+    """Attributed costs do not sum to the reported total."""
+
+
+class CostLedger:
+    """Append-only collection of :class:`LedgerEntry` with aggregations.
+
+    All totals use :func:`math.fsum` so aggregation order never widens
+    the gap against the scalar totals the solvers report.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: List[LedgerEntry] = []
+
+    def record(
+        self,
+        unit: Iterable[int],
+        request_index: int,
+        action: str,
+        amount: float,
+    ) -> None:
+        """Append one charge; ``action`` must be one of :data:`ACTIONS`."""
+        if action not in _ACTION_SET:
+            raise ValueError(
+                f"unknown ledger action {action!r}; expected one of {ACTIONS}"
+            )
+        if amount < 0:
+            raise ValueError(f"ledger amounts must be non-negative, got {amount}")
+        self._entries.append(
+            LedgerEntry(tuple(sorted(unit)), int(request_index), action, float(amount))
+        )
+
+    # -- container protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Tuple[LedgerEntry, ...]:
+        return tuple(self._entries)
+
+    # -- aggregations ----------------------------------------------------
+    def total(self) -> float:
+        """Grand total over every recorded charge."""
+        return math.fsum(e.amount for e in self._entries)
+
+    def by_action(self) -> Dict[str, float]:
+        """Per-action totals; every action key is present (0.0 when unused)."""
+        buckets: Dict[str, List[float]] = {a: [] for a in ACTIONS}
+        for e in self._entries:
+            buckets[e.action].append(e.amount)
+        return {a: math.fsum(vals) for a, vals in buckets.items()}
+
+    def by_unit(self) -> Dict[Tuple[int, ...], float]:
+        """Per-serving-unit totals, keyed by the sorted item tuple."""
+        buckets: Dict[Tuple[int, ...], List[float]] = {}
+        for e in self._entries:
+            buckets.setdefault(e.unit, []).append(e.amount)
+        return {u: math.fsum(vals) for u, vals in buckets.items()}
+
+    def by_unit_action(self) -> Dict[Tuple[int, ...], Dict[str, float]]:
+        """Nested unit -> action -> total breakdown."""
+        buckets: Dict[Tuple[int, ...], Dict[str, List[float]]] = {}
+        for e in self._entries:
+            buckets.setdefault(e.unit, {}).setdefault(e.action, []).append(e.amount)
+        return {
+            u: {a: math.fsum(vals) for a, vals in actions.items()}
+            for u, actions in buckets.items()
+        }
+
+    # -- the invariant ---------------------------------------------------
+    def reconcile(
+        self,
+        expected_total: float,
+        *,
+        rel_tol: float = 1e-9,
+        abs_tol: float = 1e-9,
+    ) -> float:
+        """Assert the ledger sums to ``expected_total``; return the error.
+
+        Raises :class:`LedgerReconciliationError` when the absolute gap
+        exceeds ``abs_tol + rel_tol * |expected_total|``.
+        """
+        got = self.total()
+        err = abs(got - expected_total)
+        if err > abs_tol + rel_tol * abs(expected_total):
+            raise LedgerReconciliationError(
+                f"ledger total {got!r} does not reconcile with reported "
+                f"total {expected_total!r} (error {err:g}); per-action "
+                f"totals: {self.by_action()}"
+            )
+        return err
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary: entry count, grand total, per-action and
+        per-unit totals (unit keys rendered as ``"d1+d2"``)."""
+        return {
+            "entries": len(self._entries),
+            "total": self.total(),
+            "actions": self.by_action(),
+            "units": {
+                "+".join(str(d) for d in unit): total
+                for unit, total in sorted(self.by_unit().items())
+            },
+        }

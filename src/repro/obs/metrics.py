@@ -1,0 +1,160 @@
+"""Per-run observation records and the harness-level metrics collector.
+
+:class:`RunObservation` is the object a caller passes to
+:func:`repro.core.dp_greedy.solve_dp_greedy` via ``obs=`` to opt into
+observability for one solve: the solver fills its :class:`CostLedger`
+(one entry per elementary charge), its :class:`PhaseTimers` (Phase-1
+similarity/packing, Phase-2 serve), and its :class:`CounterRegistry`
+(engine + memo counters), then *reconciles* the ledger against the
+reported scalar total -- a failed reconciliation raises, so every
+observed run audits its own cost accounting.
+
+:class:`MetricsCollector` strings many observations together for sweep
+harnesses (one per ``(sweep point, repeat)``) and renders the
+``METRICS_*.json`` snapshot documented in the README.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .counters import CounterRegistry
+from .ledger import ACTIONS, CostLedger
+from .timers import PhaseTimers
+
+__all__ = ["METRICS_SCHEMA", "RunObservation", "MetricsCollector", "write_metrics"]
+
+#: Schema identifier stamped into every metrics snapshot.
+METRICS_SCHEMA = "repro.obs/metrics/v1"
+
+#: Observation-2 serving modes -> ledger actions.  The mode strings are
+#: owned by :mod:`repro.core.dp_greedy` (MODE_CACHE/MODE_TRANSFER/
+#: MODE_PACKAGE); importing them here would be circular, so the mapping
+#: is spelled out and pinned by tests.
+_MODE_ACTION = {"cache": "cache", "transfer": "transfer", "package": "ship"}
+
+
+class RunObservation:
+    """Ledger + timers + counters for one ``solve_dp_greedy`` call."""
+
+    __slots__ = (
+        "point",
+        "ledger",
+        "timers",
+        "counters",
+        "total_cost",
+        "reconciliation_error",
+    )
+
+    def __init__(self, point: Optional[Dict[str, object]] = None) -> None:
+        #: Free-form sweep coordinates (e.g. ``{"jaccard": 0.3, "repeat": 1}``).
+        self.point: Dict[str, object] = dict(point or {})
+        self.ledger = CostLedger()
+        self.timers = PhaseTimers()
+        self.counters = CounterRegistry()
+        self.total_cost: Optional[float] = None
+        self.reconciliation_error: Optional[float] = None
+
+    def finalize(
+        self,
+        seq,
+        reports: Sequence[object],
+        total_cost: float,
+        *,
+        engine_stats: Optional[object] = None,
+        memo: Optional[object] = None,
+    ) -> None:
+        """Ingest one solve's reports into the ledger and reconcile.
+
+        ``reports`` are :class:`~repro.core.dp_greedy.GroupReport`-shaped:
+        ``group`` plus the ``attribution`` charge list of the DP part and
+        the ``modes`` list of Observation-2 single-sided decisions.  The
+        paper pins at most one request per time instant, so timestamps
+        are translated back to global request indices exactly.
+        """
+        index_of = {t: i for i, t in enumerate(seq.times)}
+        for rep in reports:
+            unit = tuple(sorted(rep.group))
+            for t, action, amount in getattr(rep, "attribution", None) or ():
+                self.ledger.record(unit, index_of[t], action, amount)
+            for t, mode, cost in rep.modes:
+                self.ledger.record(unit, index_of[t], _MODE_ACTION[mode], cost)
+        self.counters.set("phase2.units", len(reports))
+        if engine_stats is not None:
+            self.counters.absorb_stats(engine_stats, prefix="engine.")
+            self.counters.set("engine.memo_hit_rate", engine_stats.memo_hit_rate)
+        if memo is not None:
+            self.counters.absorb(memo.stats(), prefix="memo.")
+        self.total_cost = float(total_cost)
+        self.reconciliation_error = self.ledger.reconcile(total_cost)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready record of this run."""
+        return {
+            "point": dict(self.point),
+            "total_cost": self.total_cost,
+            "attributed_total": self.ledger.total(),
+            "reconciliation_error": self.reconciliation_error,
+            "ledger": self.ledger.snapshot(),
+            "phases": self.timers.snapshot(),
+            "counters": self.counters.snapshot(),
+        }
+
+
+class MetricsCollector:
+    """Accumulates per-run observations across a sweep harness."""
+
+    __slots__ = ("_runs",)
+
+    def __init__(self) -> None:
+        self._runs: List[RunObservation] = []
+
+    def observe(self, **point: object) -> RunObservation:
+        """A fresh observation tagged with sweep coordinates."""
+        obs = RunObservation(point=dict(point))
+        self._runs.append(obs)
+        return obs
+
+    @property
+    def runs(self) -> Tuple[RunObservation, ...]:
+        return tuple(self._runs)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The full ``METRICS_*.json`` payload (see README for the schema)."""
+        finalized = [o for o in self._runs if o.total_cost is not None]
+        action_totals = {
+            a: math.fsum(o.ledger.by_action()[a] for o in finalized)
+            for a in ACTIONS
+        }
+        phases: Dict[str, Dict[str, float]] = {}
+        for o in finalized:
+            for name, rec in o.timers.snapshot().items():
+                agg = phases.setdefault(name, {"seconds": 0.0, "calls": 0})
+                agg["seconds"] += rec["seconds"]
+                agg["calls"] += rec["calls"]
+        return {
+            "schema": METRICS_SCHEMA,
+            "runs": [o.snapshot() for o in finalized],
+            "aggregate": {
+                "runs": len(finalized),
+                "total_cost": math.fsum(o.total_cost for o in finalized),
+                "actions": action_totals,
+                "phases": phases,
+                "max_reconciliation_error": max(
+                    (o.reconciliation_error for o in finalized), default=0.0
+                ),
+            },
+        }
+
+
+def write_metrics(
+    snapshot: Dict[str, object], path: Union[str, Path]
+) -> Path:
+    """Write a metrics snapshot as pretty-printed JSON; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return out

@@ -1,0 +1,58 @@
+"""Phase wall-time accumulators.
+
+DP_Greedy has three hot phases -- Phase 1's similarity scan, Phase 1's
+greedy packing, and Phase 2's per-unit solves -- and tuning any of them
+starts with knowing where the time goes.  :class:`PhaseTimers` is a tiny
+named-accumulator: each :meth:`PhaseTimers.time` context adds one timed
+interval to its phase, so ``seconds / calls`` gives per-unit latency
+when the serial loop times each serving unit individually.
+
+The timers are driven from the coordinating thread only (the engine
+times its pool dispatch as one interval from the parent), so no locking
+is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+__all__ = ["PhaseTimers"]
+
+
+class PhaseTimers:
+    """Named wall-clock accumulators with call counts."""
+
+    __slots__ = ("_acc",)
+
+    def __init__(self) -> None:
+        # name -> [total seconds, call count]
+        self._acc: Dict[str, List[float]] = {}
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            rec = self._acc.setdefault(name, [0.0, 0])
+            rec[0] += time.perf_counter() - start
+            rec[1] += 1
+
+    def seconds(self, name: str) -> float:
+        return self._acc.get(name, [0.0, 0])[0]
+
+    def calls(self, name: str) -> int:
+        return int(self._acc.get(name, [0.0, 0])[1])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._acc
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready ``{phase: {seconds, calls}}`` mapping."""
+        return {
+            name: {"seconds": rec[0], "calls": int(rec[1])}
+            for name, rec in sorted(self._acc.items())
+        }

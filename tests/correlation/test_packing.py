@@ -151,3 +151,39 @@ class TestGroupPacking:
             [d for p in plan.packages for d in p] + list(plan.singletons)
         )
         assert covered == sorted(seq.items)
+
+
+class TestPackageIndex:
+    """Regression: package_of/is_packed were O(#packages) linear scans;
+    they now answer from a lazily built item -> package map without
+    changing the frozen-dataclass surface."""
+
+    def _plan(self):
+        seq = seq_with_pairs(({1, 2}, 6), ({3, 4}, 6), ({5}, 2))
+        return greedy_pair_packing(correlation_stats(seq), theta=0.2)
+
+    def test_index_agrees_with_linear_scan(self):
+        plan = self._plan()
+        for item in (1, 2, 3, 4, 5, 99):
+            scanned = next(
+                (p for p in plan.packages if item in p), frozenset((item,))
+            )
+            assert plan.package_of(item) == scanned
+            assert plan.is_packed(item) == any(item in p for p in plan.packages)
+
+    def test_plan_stays_frozen(self):
+        plan = self._plan()
+        plan.package_of(1)  # populate the cache
+        with pytest.raises(AttributeError):
+            plan.packages = ()
+
+    def test_equality_unaffected_by_cache_population(self):
+        a = self._plan()
+        b = self._plan()
+        a.package_of(1)  # a's cache is populated, b's is not
+        assert a == b
+
+    def test_index_is_built_once(self):
+        plan = self._plan()
+        assert plan.package_of(1) is plan.package_of(2)  # same frozenset
+        assert plan._package_index is plan._package_index

@@ -88,3 +88,80 @@ class TestSolverMemo:
             "entries": 1,
             "hit_rate": 0.5,
         }
+
+
+class TestCounterLocking:
+    """Regression: hits/misses/hit_rate/__len__ used to read mutable
+    state without the lock while stats() took it -- the counter
+    properties must observe the same mutual exclusion as every other
+    accessor."""
+
+    def _assert_blocks_while_locked(self, memo, read):
+        import threading
+
+        value = []
+        with memo._lock:
+            t = threading.Thread(target=lambda: value.append(read(memo)))
+            t.start()
+            t.join(timeout=0.1)
+            assert t.is_alive(), "reader did not wait for the memo lock"
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert len(value) == 1
+
+    def test_hits_takes_the_lock(self):
+        self._assert_blocks_while_locked(SolverMemo(), lambda m: m.hits)
+
+    def test_misses_takes_the_lock(self):
+        self._assert_blocks_while_locked(SolverMemo(), lambda m: m.misses)
+
+    def test_hit_rate_takes_the_lock(self):
+        self._assert_blocks_while_locked(SolverMemo(), lambda m: m.hit_rate)
+
+    def test_len_takes_the_lock(self):
+        self._assert_blocks_while_locked(SolverMemo(), lambda m: len(m))
+
+    def test_counters_stay_coherent_under_concurrent_puts(self):
+        import threading
+
+        memo = SolverMemo()
+
+        def worker(base):
+            for i in range(200):
+                key = f"{base}-{i}".encode()
+                memo.get(key)
+                memo.put(key, float(i))
+                memo.get(key)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert memo.hits == 4 * 200
+        assert memo.misses == 4 * 200
+        assert memo.hit_rate == pytest.approx(0.5)
+        assert len(memo) == 4 * 200
+
+
+class TestAttributionPayload:
+    def test_plain_entry_is_a_miss_with_attribution(self):
+        memo = SolverMemo()
+        memo.put(b"k", 2.0)
+        assert memo.get(b"k") == 2.0
+        # an observed run must never receive an un-ledgerable cost
+        assert memo.get(b"k", with_attribution=True) is None
+
+    def test_attribution_round_trips(self):
+        memo = SolverMemo()
+        attr = ((1.0, "cache", 0.5), (2.0, "transfer", 1.0))
+        memo.put(b"k", 1.5, attribution=attr)
+        assert memo.get(b"k", with_attribution=True) == (1.5, attr)
+        assert memo.get(b"k") == 1.5  # plain callers see the bare cost
+
+    def test_re_put_without_attribution_preserves_payload(self):
+        memo = SolverMemo()
+        attr = ((1.0, "transfer", 1.0),)
+        memo.put(b"k", 1.0, attribution=attr)
+        memo.put(b"k", 1.0)  # an unobserved run re-stores the same cost
+        assert memo.get(b"k", with_attribution=True) == (1.0, attr)

@@ -75,3 +75,26 @@ class TestPackageServicePass:
         seq = correlated_pair_sequence(10, 3, 0.5, seed=1)
         with pytest.raises(ValueError, match="two items"):
             package_service_pass(seq, frozenset({1}), unit_model, 0.8)
+
+    def test_zero_time_rejected(self, unit_model):
+        # regression: greedy_service_pass guarded against t <= 0 but the
+        # package pass silently mis-costed it (the origin cache term
+        # mu * t_i collapses to zero at t = 0)
+        from repro.cache.model import RequestSequence
+
+        seq = RequestSequence(
+            [(0, 0.0, {1, 2}), (1, 1.0, {1}), (0, 2.0, {2})], num_servers=2
+        )
+        with pytest.raises(ValueError, match="strictly positive"):
+            package_service_pass(seq, frozenset({1, 2}), unit_model, 0.8)
+
+    def test_zero_time_outside_package_is_fine(self, unit_model):
+        # the guard applies to the package's carrying nodes, not to
+        # unrelated requests of the wider sequence
+        from repro.cache.model import RequestSequence
+
+        seq = RequestSequence(
+            [(0, 0.0, {9}), (0, 1.0, {1, 2}), (1, 2.0, {1})], num_servers=2
+        )
+        total = package_service_pass(seq, frozenset({1, 2}), unit_model, 0.8)
+        assert total > 0.0

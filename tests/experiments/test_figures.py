@@ -178,3 +178,56 @@ class TestScaling:
         # superlinear DP, near-linear pre-scan
         assert res.params["dp_loglog_slope"] > 0.8
         assert res.params["prescan_loglog_slope"] < 2.0
+
+
+class TestHarnessMetrics:
+    """The --metrics surface of the sweep harnesses (repro.obs)."""
+
+    @pytest.fixture(scope="class")
+    def res(self):
+        return run_fig11(
+            n_requests=60, repeats=1, num_servers=8, metrics=True, memo=True
+        )
+
+    def test_snapshot_attached_with_schema(self, res):
+        assert res.metrics is not None
+        assert res.metrics["schema"] == "repro.obs/metrics/v1"
+
+    def test_one_observation_per_dpg_solve(self, res):
+        # fig11 runs one DP_Greedy solve per (jaccard, repeat) point
+        assert res.metrics["aggregate"]["runs"] == len(res.rows)
+
+    def test_every_run_reconciles(self, res):
+        assert res.metrics["aggregate"]["max_reconciliation_error"] <= 1e-9
+        for run in res.metrics["runs"]:
+            assert run["reconciliation_error"] <= 1e-9
+            assert run["total_cost"] == pytest.approx(run["attributed_total"])
+
+    def test_runs_tagged_with_sweep_point(self, res):
+        points = {(r["point"]["jaccard"], r["point"]["repeat"])
+                  for r in res.metrics["runs"]}
+        assert len(points) == len(res.metrics["runs"])
+
+    def test_save_writes_metrics_artefact(self, res, tmp_path):
+        import json
+
+        res.save(tmp_path)
+        path = tmp_path / "METRICS_fig11.json"
+        assert path.exists()
+        on_disk = json.loads(path.read_text())
+        assert on_disk["schema"] == "repro.obs/metrics/v1"
+        assert on_disk["aggregate"]["runs"] == len(res.rows)
+
+    def test_metrics_off_by_default(self):
+        res = run_fig12(
+            rhos=(1.0,), n_requests=40, repeats=1, num_servers=6
+        )
+        assert res.metrics is None
+
+    def test_fig13_metrics(self):
+        res = run_fig13(
+            alphas=(0.8,), jaccards=(0.3,), n_requests=40, repeats=1,
+            num_servers=6, metrics=True,
+        )
+        assert res.metrics["aggregate"]["runs"] == 1
+        assert res.metrics["aggregate"]["max_reconciliation_error"] <= 1e-9

@@ -1,0 +1,117 @@
+"""Unit tests for the cost ledger and its reconciliation self-audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ACTIONS, CostLedger, LedgerEntry, LedgerReconciliationError
+
+
+class TestRecord:
+    def test_entry_fields(self):
+        ledger = CostLedger()
+        ledger.record((2, 1), 4, "cache", 1.5)
+        (entry,) = ledger.entries
+        assert entry == LedgerEntry(unit=(1, 2), request_index=4, action="cache", amount=1.5)
+
+    def test_unit_is_sorted(self):
+        ledger = CostLedger()
+        ledger.record((5, 3), 0, "ship", 1.0)
+        ledger.record((3, 5), 1, "ship", 1.0)
+        units = {e.unit for e in ledger.entries}
+        assert units == {(3, 5)}
+
+    def test_unknown_action_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError, match="unknown ledger action"):
+            ledger.record((1,), 0, "teleport", 1.0)
+
+    def test_negative_amount_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError, match="negative"):
+            ledger.record((1,), 0, "cache", -0.5)
+
+    def test_zero_amount_allowed(self):
+        ledger = CostLedger()
+        ledger.record((1,), 0, "transfer", 0.0)
+        assert ledger.total() == 0.0
+
+    def test_every_documented_action_accepted(self):
+        ledger = CostLedger()
+        for i, action in enumerate(ACTIONS):
+            ledger.record((1,), i, action, 1.0)
+        assert len(ledger.entries) == len(ACTIONS)
+
+
+class TestAggregation:
+    def _populated(self):
+        ledger = CostLedger()
+        ledger.record((1,), 0, "transfer", 2.0)
+        ledger.record((1,), 1, "cache", 3.0)
+        ledger.record((1, 2), 2, "ship", 4.0)
+        ledger.record((1, 2), 3, "ship", 1.0)
+        ledger.record((3,), 4, "backbone", 0.5)
+        return ledger
+
+    def test_total(self):
+        assert self._populated().total() == pytest.approx(10.5)
+
+    def test_by_action(self):
+        by = self._populated().by_action()
+        assert by["transfer"] == pytest.approx(2.0)
+        assert by["cache"] == pytest.approx(3.0)
+        assert by["ship"] == pytest.approx(5.0)
+        assert by["backbone"] == pytest.approx(0.5)
+        assert by["first-copy"] == 0.0  # unused actions still present
+
+    def test_by_unit(self):
+        by = self._populated().by_unit()
+        assert by[(1,)] == pytest.approx(5.0)
+        assert by[(1, 2)] == pytest.approx(5.0)
+        assert by[(3,)] == pytest.approx(0.5)
+
+    def test_by_unit_action(self):
+        by = self._populated().by_unit_action()
+        assert by[(1, 2)]["ship"] == pytest.approx(5.0)
+        assert by[(1,)]["cache"] == pytest.approx(3.0)
+        assert by[(1,)]["transfer"] == pytest.approx(2.0)
+
+
+class TestReconcile:
+    def test_exact_match_returns_zero(self):
+        ledger = CostLedger()
+        ledger.record((1,), 0, "cache", 1.25)
+        assert ledger.reconcile(1.25) == 0.0
+
+    def test_tiny_float_noise_tolerated(self):
+        ledger = CostLedger()
+        for i in range(10):
+            ledger.record((1,), i, "cache", 0.1)
+        err = ledger.reconcile(1.0)
+        assert err <= 1e-9
+
+    def test_gap_raises_with_both_totals_in_message(self):
+        ledger = CostLedger()
+        ledger.record((1,), 0, "cache", 1.0)
+        with pytest.raises(LedgerReconciliationError, match="1.5"):
+            ledger.reconcile(1.5)
+
+    def test_error_is_a_value_error(self):
+        # callers that guard broadly on ValueError still catch the audit
+        assert issubclass(LedgerReconciliationError, ValueError)
+
+
+class TestSnapshot:
+    def test_unit_keys_are_plus_joined(self):
+        ledger = CostLedger()
+        ledger.record((2, 1), 0, "ship", 1.0)
+        snap = ledger.snapshot()
+        assert snap["units"] == {"1+2": 1.0}
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        ledger = CostLedger()
+        ledger.record((1, 2), 0, "ship", 1.0)
+        ledger.record((3,), 1, "transfer", 2.0)
+        json.dumps(ledger.snapshot())

@@ -1,0 +1,106 @@
+"""Unit tests for the phase timers and the counter registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.parallel import EngineStats
+from repro.obs import CounterRegistry, PhaseTimers
+
+
+class TestPhaseTimers:
+    def test_accumulates_seconds_and_calls(self):
+        timers = PhaseTimers()
+        for _ in range(3):
+            with timers.time("phase2.serve"):
+                pass
+        assert timers.calls("phase2.serve") == 3
+        assert timers.seconds("phase2.serve") >= 0.0
+        assert "phase2.serve" in timers
+        assert "phase1.packing" not in timers
+
+    def test_time_is_monotone(self):
+        import time as _time
+
+        timers = PhaseTimers()
+        with timers.time("t"):
+            _time.sleep(0.01)
+        assert timers.seconds("t") >= 0.005
+
+    def test_exception_still_recorded(self):
+        timers = PhaseTimers()
+        with pytest.raises(RuntimeError):
+            with timers.time("t"):
+                raise RuntimeError("boom")
+        assert timers.calls("t") == 1
+
+    def test_snapshot_shape(self):
+        timers = PhaseTimers()
+        with timers.time("b"):
+            pass
+        with timers.time("a"):
+            pass
+        snap = timers.snapshot()
+        assert list(snap) == ["a", "b"]  # sorted
+        assert set(snap["a"]) == {"seconds", "calls"}
+        assert isinstance(snap["a"]["calls"], int)
+
+    def test_unknown_phase_reads_zero(self):
+        timers = PhaseTimers()
+        assert timers.seconds("nope") == 0.0
+        assert timers.calls("nope") == 0
+
+
+class TestCounterRegistry:
+    def test_set_get_add(self):
+        reg = CounterRegistry()
+        reg.set("a", 2)
+        reg.add("a", 3)
+        reg.add("b")  # implicit start at 0
+        assert reg.get("a") == 5
+        assert reg.get("b") == 1
+        assert reg.get("missing", -1) == -1
+        assert "a" in reg and len(reg) == 2
+
+    def test_add_to_non_numeric_rejected(self):
+        reg = CounterRegistry()
+        reg.set("pool", "thread")
+        with pytest.raises(TypeError):
+            reg.add("pool")
+
+    def test_absorb_with_prefix(self):
+        reg = CounterRegistry()
+        reg.absorb({"hits": 3, "misses": 1}, prefix="memo.")
+        assert reg.get("memo.hits") == 3
+        assert reg.get("memo.misses") == 1
+
+    def test_absorb_engine_stats_dataclass(self):
+        stats = EngineStats(
+            units=4,
+            packages=1,
+            singletons=3,
+            workers=2,
+            pool="thread",
+            dispatched=3,
+            memo_hits=7,
+            memo_misses=3,
+        )
+        reg = CounterRegistry()
+        reg.absorb_stats(stats, prefix="engine.")
+        assert reg.get("engine.memo_hits") == 7
+        assert reg.get("engine.pool") == "thread"
+        assert reg.get("engine.workers") == 2
+
+    def test_absorb_stats_rejects_non_dataclass(self):
+        reg = CounterRegistry()
+        with pytest.raises(TypeError):
+            reg.absorb_stats({"hits": 1}, prefix="x.")
+
+    def test_snapshot_sorted_copy(self):
+        reg = CounterRegistry()
+        reg.set("z", 1)
+        reg.set("a", 2)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "z"]
+        snap["a"] = 99
+        assert reg.get("a") == 2  # snapshot is a copy

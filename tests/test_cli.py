@@ -84,3 +84,49 @@ class TestParser:
         args = parser.parse_args(["run", "fig12", "--quick"])
         assert args.experiment == "fig12"
         assert args.quick
+
+
+class TestMetricsFlag:
+    def test_run_with_metrics_writes_artefact(self, tmp_path: Path, capsys):
+        import json
+
+        out_dir = tmp_path / "res"
+        rc = main([
+            "run", "fig12", "--quick", "--metrics", "--out", str(out_dir)
+        ])
+        assert rc == 0
+        path = out_dir / "METRICS_fig12.json"
+        assert path.exists()
+        snap = json.loads(path.read_text())
+        assert snap["schema"] == "repro.obs/metrics/v1"
+        assert snap["aggregate"]["max_reconciliation_error"] <= 1e-9
+        assert "METRICS_fig12.json" in capsys.readouterr().out
+
+    def test_run_metrics_defaults_out_to_results(self, tmp_path, capsys, monkeypatch):
+        # --metrics promises an artefact even without --out
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig12", "--quick", "--metrics"]) == 0
+        assert (tmp_path / "results" / "METRICS_fig12.json").exists()
+
+    def test_run_without_metrics_writes_none(self, tmp_path: Path, capsys):
+        out_dir = tmp_path / "res"
+        assert main(["run", "fig12", "--quick", "--out", str(out_dir)]) == 0
+        assert not (out_dir / "METRICS_fig12.json").exists()
+
+    def test_solve_with_metrics(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.trace import correlated_pair_sequence, save_sequence
+
+        monkeypatch.chdir(tmp_path)
+        trace = tmp_path / "trace.csv"
+        save_sequence(trace, correlated_pair_sequence(40, 5, 0.5, seed=2))
+        assert main(["solve", str(trace), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "cost attribution:" in out
+        assert "phase wall-times:" in out
+        snap = json.loads(
+            (tmp_path / "results" / "METRICS_solve.json").read_text()
+        )
+        assert snap["aggregate"]["runs"] == 1
+        assert snap["aggregate"]["max_reconciliation_error"] <= 1e-9
