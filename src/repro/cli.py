@@ -56,10 +56,25 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
             "timers + counters) as a METRICS_*.json artefact"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        dest="trace_out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record the solve pipeline as nested spans and write a Chrome "
+            "trace-event JSON to PATH (open in Perfetto/chrome://tracing); "
+            "with 'run all' the experiment id is appended to the filename"
+        ),
+    )
 
 
 def _engine_kwargs(
-    fn, workers: Optional[int], memo: bool, metrics: bool = False
+    fn,
+    workers: Optional[int],
+    memo: bool,
+    metrics: bool = False,
+    trace: bool = False,
 ) -> Dict[str, object]:
     """Engine kwargs for harnesses that expose the knobs; {} otherwise."""
     params = inspect.signature(fn).parameters
@@ -70,6 +85,14 @@ def _engine_kwargs(
         out["memo"] = True
     if "metrics" in params and metrics:
         out["metrics"] = True
+    # the span-tracing knob is the boolean trace=False kwarg; fig09/fig10
+    # use "trace" for the taxi-trace input, so match on the default too
+    if (
+        trace
+        and "trace" in params
+        and params["trace"].default is False
+    ):
+        out["trace"] = True
     return out
 
 
@@ -152,6 +175,18 @@ _QUICK_OVERRIDES = {
 }
 
 
+def _trace_destination(trace_path: str, experiment_id: str, multi: bool) -> str:
+    """Per-experiment trace filename when several experiments share
+    one ``--trace`` flag (``run all``)."""
+    if not multi:
+        return trace_path
+    from pathlib import Path
+
+    p = Path(trace_path)
+    suffix = p.suffix or ".json"
+    return str(p.with_name(f"{p.stem}_{experiment_id}{suffix}"))
+
+
 def _run_one(
     name: str,
     out: Optional[str],
@@ -159,13 +194,17 @@ def _run_one(
     workers: Optional[int] = None,
     memo: bool = False,
     metrics: bool = False,
+    trace_path: Optional[str] = None,
+    multi_trace: bool = False,
 ) -> int:
     fn = ALL_EXPERIMENTS.get(name)
     if fn is None:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
     kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
-    kwargs.update(_engine_kwargs(fn, workers, memo, metrics))
+    kwargs.update(
+        _engine_kwargs(fn, workers, memo, metrics, trace=trace_path is not None)
+    )
     result = fn(**kwargs)
     print(result.report())
     if out is None and result.metrics is not None:
@@ -181,6 +220,18 @@ def _run_one(
                 f"({agg.get('runs', 0)} observed runs, max reconciliation "
                 f"error {agg.get('max_reconciliation_error', 0.0):.2e})"
             )
+    if trace_path is not None:
+        if result.trace is None:
+            print(f"note: {name} does not support span tracing; no trace written")
+        else:
+            from .obs.tracing import write_chrome_trace
+
+            dest = write_chrome_trace(
+                result.trace,
+                _trace_destination(trace_path, result.experiment_id, multi_trace),
+            )
+            events = len(result.trace.get("traceEvents", ()))
+            print(f"trace: {dest} ({events} events; open in Perfetto)")
     return 0
 
 
@@ -216,6 +267,11 @@ def _solve_trace(args: argparse.Namespace) -> int:
         obs = collector.observe(
             trace=args.trace, theta=args.theta, alpha=args.alpha
         )
+    tracer = None
+    if args.trace_out is not None:
+        from .obs.tracing import Tracer
+
+        tracer = Tracer()
 
     dpg = solve_dp_greedy(
         seq,
@@ -225,6 +281,7 @@ def _solve_trace(args: argparse.Namespace) -> int:
         workers=args.workers,
         memo=not args.no_memo,
         obs=obs,
+        tracer=tracer,
     )
     opt = solve_optimal_nonpacking(seq, model)
     pkg = solve_package_served(seq, model, theta=args.theta, alpha=args.alpha)
@@ -263,6 +320,12 @@ def _solve_trace(args: argparse.Namespace) -> int:
         print(
             f"metrics: {path} (reconciliation error "
             f"{obs.reconciliation_error:.2e})"
+        )
+    if tracer is not None:
+        dest = tracer.write(args.trace_out)
+        print(
+            f"trace: {dest} ({len(tracer)} spans; open in Perfetto or "
+            "chrome://tracing)"
         )
     return 0
 
@@ -324,23 +387,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             memo=not args.no_memo,
             metrics=args.metrics,
+            trace=args.trace_out is not None,
         )
         print(f"report written to {path}")
         return 0
     if args.command == "run":
         workers, memo = args.workers, not args.no_memo
-        metrics = args.metrics
+        metrics, trace_path = args.metrics, args.trace_out
         if args.experiment == "all":
             rc = 0
             for name in ALL_EXPERIMENTS:
                 rc = max(
                     rc,
-                    _run_one(name, args.out, args.quick, workers, memo, metrics),
+                    _run_one(
+                        name, args.out, args.quick, workers, memo, metrics,
+                        trace_path, multi_trace=True,
+                    ),
                 )
                 print()
             return rc
         return _run_one(
-            args.experiment, args.out, args.quick, workers, memo, metrics
+            args.experiment, args.out, args.quick, workers, memo, metrics,
+            trace_path,
         )
 
     parser.print_help()

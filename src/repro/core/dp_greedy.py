@@ -45,6 +45,7 @@ from ..cache.model import (
 )
 from ..cache.optimal_dp import attribute_cost, solve_optimal
 from ..cache.schedule import Schedule
+from ..obs.tracing import maybe_span
 from ..correlation.jaccard import CorrelationStats, correlation_stats
 from ..correlation.packing import (
     PackingPlan,
@@ -368,6 +369,7 @@ def solve_dp_greedy(
     memo: "object | bool | None" = None,
     pool: Optional[str] = None,
     obs: "object | None" = None,
+    tracer: "object | None" = None,
 ) -> DPGreedyResult:
     """Run the full two-phase DP_Greedy algorithm on ``seq``.
 
@@ -405,15 +407,29 @@ def solve_dp_greedy(
         :class:`~repro.obs.LedgerReconciliationError` on any gap), and
         engine/memo counters are absorbed into ``obs.counters``.  With
         ``obs=None`` (default) no attribution work happens at all.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  Phase 1 and
+        Phase 2 are recorded as nested spans, the execution engine adds
+        memo-probe (hit/miss attributed), pool-dispatch, and per-unit
+        solve spans -- including spans captured *inside* thread/process
+        pool workers -- and, when ``obs`` is also given, the run's span
+        aggregates land in the metrics snapshot's ``spans`` section.
+        Export with ``tracer.write(path)`` (Chrome trace-event JSON).
+        With ``tracer=None`` (default) no spans are recorded.
     """
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
     observe = obs is not None
     timed = obs.timers.time if observe else _null_timer
+    span_mark = tracer.mark() if tracer is not None else 0
 
-    with timed("phase1.similarity"):
+    with timed("phase1.similarity"), maybe_span(
+        tracer, "phase1.similarity", cat="phase1"
+    ):
         stats = correlation_stats(seq)
-    with timed("phase1.packing"):
+    with timed("phase1.packing"), maybe_span(
+        tracer, "phase1.packing", cat="phase1"
+    ):
         if plan is not None:
             plan_items = {d for p in plan.packages for d in p} | set(plan.singletons)
             if plan_items != set(seq.items):
@@ -447,7 +463,9 @@ def solve_dp_greedy(
             memo_obj = memo
         else:
             raise TypeError("memo must be a SolverMemo, True, False, or None")
-        with timed("phase2.serve"):
+        with timed("phase2.serve"), maybe_span(
+            tracer, "phase2.serve", cat="phase2", engine="pool"
+        ):
             reports, engine_stats = serve_plan(
                 seq,
                 plan,
@@ -458,37 +476,56 @@ def solve_dp_greedy(
                 build_schedules=build_schedules,
                 pool=pool,
                 attribute=observe,
+                tracer=tracer,
             )
     else:
         reports = []
-        for pkg in plan.packages:
-            with timed("phase2.serve"):
-                reports.append(
-                    serve_package(
-                        seq,
-                        pkg,
-                        model,
-                        alpha,
-                        build_schedule=build_schedules,
-                        attribute=observe,
+        with maybe_span(tracer, "phase2.serve", cat="phase2", engine="serial"):
+            for pkg in plan.packages:
+                with timed("phase2.serve"), maybe_span(
+                    tracer,
+                    "phase2.solve",
+                    cat="phase2",
+                    unit="pkg(" + ",".join(str(d) for d in sorted(pkg)) + ")",
+                    kind="package",
+                ):
+                    reports.append(
+                        serve_package(
+                            seq,
+                            pkg,
+                            model,
+                            alpha,
+                            build_schedule=build_schedules,
+                            attribute=observe,
+                        )
                     )
-                )
-        for d in plan.singletons:
-            with timed("phase2.serve"):
-                reports.append(
-                    serve_singleton(
-                        seq,
-                        d,
-                        model,
-                        build_schedule=build_schedules,
-                        attribute=observe,
+            for d in plan.singletons:
+                with timed("phase2.serve"), maybe_span(
+                    tracer,
+                    "phase2.solve",
+                    cat="phase2",
+                    unit=f"item({d})",
+                    kind="singleton",
+                ):
+                    reports.append(
+                        serve_singleton(
+                            seq,
+                            d,
+                            model,
+                            build_schedule=build_schedules,
+                            attribute=observe,
+                        )
                     )
-                )
 
     total = sum(r.total for r in reports)
     if observe:
         obs.finalize(
-            seq, reports, total, engine_stats=engine_stats, memo=memo_obj
+            seq,
+            reports,
+            total,
+            engine_stats=engine_stats,
+            memo=memo_obj,
+            spans=tracer.aggregate(since=span_mark) if tracer is not None else None,
         )
     return DPGreedyResult(
         plan=plan,

@@ -18,7 +18,11 @@ solver returned*, it never recomputes costs a different way).
 
 Hit/miss counters are exposed for observability; the engine surfaces
 them through :class:`repro.engine.parallel.EngineStats` and the CLI
-prints them per harness run.
+prints them per harness run.  Under span tracing
+(:mod:`repro.obs.tracing`) every individual probe additionally appears
+as an ``engine.memo_probe`` span whose ``memo`` attribute records the
+per-lookup ``hit``/``miss`` outcome -- the counters aggregate what the
+spans itemise.
 """
 
 from __future__ import annotations

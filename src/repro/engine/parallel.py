@@ -53,6 +53,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 from ..cache.model import CostModel, RequestSequence, SingleItemView, package_rate
 from ..correlation.packing import PackingPlan
 from ..core.dp_greedy import GroupReport, serve_package, serve_singleton
+from ..obs.tracing import Tracer, maybe_span
 from .memo import SolverMemo, fingerprint_view
 
 __all__ = [
@@ -103,6 +104,14 @@ def _plan_units(plan: PackingPlan) -> List[_UnitSpec]:
     return units
 
 
+def _unit_label(spec: _UnitSpec) -> str:
+    """Human-readable span label: ``"pkg(1,2)"`` / ``"item(7)"``."""
+    kind, payload = spec
+    if kind == "package":
+        return "pkg(" + ",".join(str(d) for d in payload) + ")"
+    return f"item({payload})"
+
+
 def _serve_unit(
     seq: RequestSequence,
     spec: _UnitSpec,
@@ -131,6 +140,7 @@ def _serve_unit(
 # initializer (with fork it is inherited copy-on-write), not per unit.
 # ---------------------------------------------------------------------------
 _WORKER_ARGS: Tuple = ()
+_WORKER_TRACER: Optional[Tracer] = None
 
 
 def _init_worker(
@@ -139,14 +149,36 @@ def _init_worker(
     alpha: float,
     build_schedules: bool,
     attribute: bool,
+    trace: bool = False,
 ) -> None:
-    global _WORKER_ARGS
+    global _WORKER_ARGS, _WORKER_TRACER
     _WORKER_ARGS = (seq, model, alpha, build_schedules, attribute)
+    _WORKER_TRACER = Tracer() if trace else None
 
 
 def _serve_unit_in_worker(spec: _UnitSpec) -> GroupReport:
     seq, model, alpha, build_schedules, attribute = _WORKER_ARGS
     return _serve_unit(seq, spec, model, alpha, build_schedules, attribute)
+
+
+def _serve_unit_in_worker_traced(spec: _UnitSpec):
+    """Traced variant: returns ``(report, spans)``.
+
+    The worker records the solve into its process-local tracer and ships
+    the new records back with the result; their wall-anchored timestamps
+    and real pid/tid merge directly into the parent trace (see
+    :mod:`repro.obs.tracing` for the clock model).
+    """
+    seq, model, alpha, build_schedules, attribute = _WORKER_ARGS
+    tracer = _WORKER_TRACER
+    if tracer is None:  # pragma: no cover - defensive; init always ran
+        return _serve_unit(seq, spec, model, alpha, build_schedules, attribute), ()
+    mark = tracer.mark()
+    with tracer.span(
+        "phase2.solve", cat="phase2", unit=_unit_label(spec), kind=spec[0]
+    ):
+        report = _serve_unit(seq, spec, model, alpha, build_schedules, attribute)
+    return report, tracer.records(since=mark)
 
 
 # ---------------------------------------------------------------------------
@@ -257,6 +289,7 @@ def _make_executor(
     alpha: float,
     build_schedules: bool,
     attribute: bool,
+    trace: bool = False,
 ) -> Executor:
     if kind == "thread":
         return ThreadPoolExecutor(max_workers=workers)
@@ -266,7 +299,7 @@ def _make_executor(
         max_workers=workers,
         mp_context=ctx,
         initializer=_init_worker,
-        initargs=(seq, model, alpha, build_schedules, attribute),
+        initargs=(seq, model, alpha, build_schedules, attribute, trace),
     )
 
 
@@ -281,6 +314,7 @@ def serve_plan(
     build_schedules: bool = False,
     pool: Optional[str] = None,
     attribute: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[List[GroupReport], EngineStats]:
     """Serve every unit of ``plan``; return reports in serial order.
 
@@ -302,6 +336,14 @@ def serve_plan(
         ledger charges of :mod:`repro.obs`).  Memo entries then store
         cost and attribution together, and only entries carrying an
         attribution count as hits.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`.  Memo probes are
+        recorded as ``engine.memo_probe`` spans with a ``memo=hit|miss``
+        attribute, pool execution as an ``engine.dispatch`` span, and
+        every per-unit solve as a ``phase2.solve`` span -- including
+        solves inside thread workers (distinct ``tid``) and process
+        workers (distinct ``pid``; their spans are shipped back with the
+        results and merged).  ``None`` leaves the hot path untouched.
     """
     units = _plan_units(plan)
     n_packages = len(plan.packages)
@@ -313,7 +355,11 @@ def serve_plan(
     hits = 0
     if use_memo:
         for idx, spec in enumerate(units):
-            report, key = _memo_probe(seq, spec, model, alpha, memo, attribute)
+            with maybe_span(
+                tracer, "engine.memo_probe", cat="engine", unit=_unit_label(spec)
+            ) as span:
+                report, key = _memo_probe(seq, spec, model, alpha, memo, attribute)
+                span.set("memo", "hit" if report is not None else "miss")
             if report is not None:
                 reports[idx] = report
                 hits += 1
@@ -328,26 +374,64 @@ def serve_plan(
 
     if kind == "serial":
         for idx in pending:
-            reports[idx] = _serve_unit(
-                seq, units[idx], model, alpha, build_schedules, attribute
-            )
+            with maybe_span(
+                tracer,
+                "phase2.solve",
+                cat="phase2",
+                unit=_unit_label(units[idx]),
+                kind=units[idx][0],
+            ):
+                reports[idx] = _serve_unit(
+                    seq, units[idx], model, alpha, build_schedules, attribute
+                )
     else:
         specs = [units[i] for i in pending]
         chunksize = max(1, len(specs) // (4 * workers_used))
-        with _make_executor(
-            kind, workers_used, seq, model, alpha, build_schedules, attribute
-        ) as ex:
-            if kind == "thread":
-                results = ex.map(
-                    lambda spec: _serve_unit(
-                        seq, spec, model, alpha, build_schedules, attribute
-                    ),
-                    specs,
-                )
-            else:
-                results = ex.map(_serve_unit_in_worker, specs, chunksize=chunksize)
-            for idx, report in zip(pending, results):
-                reports[idx] = report
+        trace = tracer is not None
+        with maybe_span(
+            tracer,
+            "engine.dispatch",
+            cat="engine",
+            pool=kind,
+            workers=workers_used,
+            dispatched=len(specs),
+        ):
+            with _make_executor(
+                kind, workers_used, seq, model, alpha, build_schedules,
+                attribute, trace,
+            ) as ex:
+                if kind == "thread":
+
+                    def _serve_traced(spec: _UnitSpec) -> GroupReport:
+                        # worker threads record straight into the shared
+                        # tracer; each span stamps its own tid
+                        with maybe_span(
+                            tracer,
+                            "phase2.solve",
+                            cat="phase2",
+                            unit=_unit_label(spec),
+                            kind=spec[0],
+                        ):
+                            return _serve_unit(
+                                seq, spec, model, alpha, build_schedules, attribute
+                            )
+
+                    results = ex.map(_serve_traced, specs)
+                    for idx, report in zip(pending, results):
+                        reports[idx] = report
+                elif trace:
+                    results = ex.map(
+                        _serve_unit_in_worker_traced, specs, chunksize=chunksize
+                    )
+                    for idx, (report, spans) in zip(pending, results):
+                        reports[idx] = report
+                        tracer.extend(spans)
+                else:
+                    results = ex.map(
+                        _serve_unit_in_worker, specs, chunksize=chunksize
+                    )
+                    for idx, report in zip(pending, results):
+                        reports[idx] = report
 
     if use_memo:
         for idx in pending:

@@ -20,6 +20,7 @@ __all__ = [
     "ExperimentResult",
     "sweep_memo",
     "sweep_metrics",
+    "sweep_tracer",
     "record_engine_stats",
 ]
 
@@ -50,6 +51,21 @@ def sweep_metrics(metrics: bool):
     from ..obs import MetricsCollector
 
     return MetricsCollector()
+
+
+def sweep_tracer(trace: bool):
+    """One :class:`~repro.obs.tracing.Tracer` per harness run, or ``None``.
+
+    A harness with ``trace=True`` passes the shared tracer to every
+    ``solve_dp_greedy`` call, so the whole sweep lands on one timeline;
+    the harness stores ``tracer.to_chrome()`` in ``result.trace`` and
+    :meth:`ExperimentResult.save` writes the ``TRACE_<id>.json``
+    artefact (open it at https://ui.perfetto.dev)."""
+    if not trace:
+        return None
+    from ..obs.tracing import Tracer
+
+    return Tracer()
 
 
 def record_engine_stats(result: "ExperimentResult", memo_obj, workers) -> None:
@@ -88,6 +104,10 @@ class ExperimentResult:
         Optional ``repro.obs`` metrics snapshot (the
         :meth:`~repro.obs.MetricsCollector.snapshot` payload); persisted
         as ``METRICS_<experiment_id>.json`` by :meth:`save`.
+    trace:
+        Optional Chrome trace-event payload (the
+        :meth:`~repro.obs.tracing.Tracer.to_chrome` dict); persisted as
+        ``TRACE_<experiment_id>.json`` by :meth:`save`.
     """
 
     experiment_id: str
@@ -99,6 +119,7 @@ class ExperimentResult:
     xlabel: str = "x"
     ylabel: str = "y"
     metrics: Optional[Dict[str, object]] = None
+    trace: Optional[Dict[str, object]] = None
 
     def table(self) -> str:
         return format_table(self.rows)
@@ -133,8 +154,9 @@ class ExperimentResult:
         return "\n\n".join(parts)
 
     def save(self, out_dir: Union[str, Path]) -> Path:
-        """Persist CSV rows, the text report, and any metrics snapshot
-        (``METRICS_<experiment_id>.json``) under ``out_dir``."""
+        """Persist CSV rows, the text report, and any metrics/trace
+        snapshots (``METRICS_<id>.json`` / ``TRACE_<id>.json``) under
+        ``out_dir``."""
         out = Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
         if self.rows:
@@ -143,5 +165,9 @@ class ExperimentResult:
         if self.metrics is not None:
             (out / f"METRICS_{self.experiment_id}.json").write_text(
                 json.dumps(self.metrics, indent=2, sort_keys=True) + "\n"
+            )
+        if self.trace is not None:
+            (out / f"TRACE_{self.experiment_id}.json").write_text(
+                json.dumps(self.trace, indent=2) + "\n"
             )
         return out

@@ -21,7 +21,13 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult, record_engine_stats, sweep_memo, sweep_metrics
+from .base import (
+    ExperimentResult,
+    record_engine_stats,
+    sweep_memo,
+    sweep_metrics,
+    sweep_tracer,
+)
 
 __all__ = ["run_fig11", "DEFAULT_JACCARDS"]
 
@@ -43,6 +49,7 @@ def run_fig11(
     workers: Optional[int] = None,
     memo: bool = False,
     metrics: bool = False,
+    trace: bool = False,
 ) -> ExperimentResult:
     """Sweep the pair Jaccard similarity; report both algorithms' ave_cost.
 
@@ -50,11 +57,14 @@ def run_fig11(
     is shared across the whole sweep (identical sub-problems recur at
     every similarity point since only the workload seed varies).
     ``metrics`` turns on the ``repro.obs`` cost ledger / phase timers
-    per DP_Greedy run and stores the snapshot in ``result.metrics``.
+    per DP_Greedy run and stores the snapshot in ``result.metrics``;
+    ``trace`` records the whole sweep as one span timeline and stores
+    the Chrome trace payload in ``result.trace``.
     """
     model = model or CostModel(mu=3.0, lam=3.0)  # rho = 1 on the lam+mu=6 scale
     memo_obj = sweep_memo(memo)
     collector = sweep_metrics(metrics)
+    tracer = sweep_tracer(trace)
 
     result = ExperimentResult(
         experiment_id="fig11",
@@ -96,6 +106,7 @@ def run_fig11(
                 workers=workers,
                 memo=memo_obj,
                 obs=obs,
+                tracer=tracer,
             )
             opt = solve_optimal_nonpacking(seq, model)
             dpg_vals.append(dpg.ave_cost)
@@ -126,4 +137,6 @@ def run_fig11(
     record_engine_stats(result, memo_obj, workers)
     if collector:
         result.metrics = collector.snapshot()
+    if tracer is not None:
+        result.trace = tracer.to_chrome()
     return result

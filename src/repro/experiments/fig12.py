@@ -19,7 +19,13 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult, record_engine_stats, sweep_memo, sweep_metrics
+from .base import (
+    ExperimentResult,
+    record_engine_stats,
+    sweep_memo,
+    sweep_metrics,
+    sweep_tracer,
+)
 
 __all__ = ["run_fig12", "DEFAULT_RHOS"]
 
@@ -43,16 +49,19 @@ def run_fig12(
     workers: Optional[int] = None,
     memo: bool = False,
     metrics: bool = False,
+    trace: bool = False,
 ) -> ExperimentResult:
     """Sweep ``rho`` with ``lam + mu = rate_total``; report ave_cost curves.
 
     ``workers``/``memo`` opt in to the Phase-2 execution engine.  Note the
     memo keys include ``(mu, lam)``, so a rho sweep only hits across its
     ``repeats`` dimension, not across rho points.  ``metrics`` turns on
-    the ``repro.obs`` ledger/timer snapshot per DP_Greedy run.
+    the ``repro.obs`` ledger/timer snapshot per DP_Greedy run; ``trace``
+    records the sweep as one span timeline in ``result.trace``.
     """
     memo_obj = sweep_memo(memo)
     collector = sweep_metrics(metrics)
+    tracer = sweep_tracer(trace)
     result = ExperimentResult(
         experiment_id="fig12",
         title="Fig. 12 -- ave_cost of Optimal vs DP_Greedy under varying rho",
@@ -90,6 +99,7 @@ def run_fig12(
                 workers=workers,
                 memo=memo_obj,
                 obs=obs,
+                tracer=tracer,
             )
             opt = solve_optimal_nonpacking(seq, model)
             dpg_vals.append(dpg.ave_cost)
@@ -120,4 +130,6 @@ def run_fig12(
     record_engine_stats(result, memo_obj, workers)
     if collector:
         result.metrics = collector.snapshot()
+    if tracer is not None:
+        result.trace = tracer.to_chrome()
     return result

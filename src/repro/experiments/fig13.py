@@ -23,7 +23,13 @@ from ..cache.model import CostModel
 from ..core.baselines import solve_optimal_nonpacking, solve_package_served
 from ..core.dp_greedy import solve_dp_greedy
 from ..trace.workload import correlated_pair_sequence
-from .base import ExperimentResult, record_engine_stats, sweep_memo, sweep_metrics
+from .base import (
+    ExperimentResult,
+    record_engine_stats,
+    sweep_memo,
+    sweep_metrics,
+    sweep_tracer,
+)
 
 __all__ = ["run_fig13", "DEFAULT_ALPHAS", "DEFAULT_JACCARDS"]
 
@@ -45,6 +51,7 @@ def run_fig13(
     workers: Optional[int] = None,
     memo: bool = False,
     metrics: bool = False,
+    trace: bool = False,
 ) -> ExperimentResult:
     """Sweep (alpha, jaccard); report the three algorithms' ave_cost.
 
@@ -52,11 +59,13 @@ def run_fig13(
     alpha sweep re-solves identical singleton sub-problems at every
     alpha, so the shared memo removes most DP work after the first pass.
     ``metrics`` turns on the ``repro.obs`` ledger/timer snapshot per
-    DP_Greedy run.
+    DP_Greedy run; ``trace`` records the sweep as one span timeline in
+    ``result.trace``.
     """
     model = model or CostModel(mu=3.0, lam=3.0)
     memo_obj = sweep_memo(memo)
     collector = sweep_metrics(metrics)
+    tracer = sweep_tracer(trace)
 
     result = ExperimentResult(
         experiment_id="fig13",
@@ -102,6 +111,7 @@ def run_fig13(
                     workers=workers,
                     memo=memo_obj,
                     obs=obs,
+                    tracer=tracer,
                 ).ave_cost
             pkg = sums["pkg"] / repeats
             opt = sums["opt"] / repeats
@@ -141,4 +151,6 @@ def run_fig13(
     record_engine_stats(result, memo_obj, workers)
     if collector:
         result.metrics = collector.snapshot()
+    if tracer is not None:
+        result.trace = tracer.to_chrome()
     return result

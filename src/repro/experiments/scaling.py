@@ -5,19 +5,28 @@ index construction over growing ``n`` (and two ``m`` values), then fits
 the log-log slope.  The paper's claims translate to a slope of ~2 for the
 service pass in ``n`` and ~1 for the pre-scan; absolute constants are of
 course Python's, not the paper's C solver's.
+
+Timing runs through :func:`repro.obs.bench.time_best_of`, so every
+repeat also accumulates in a :class:`~repro.obs.timers.PhaseTimers`
+(per-size phases ``scaling.dp.n<N>`` / ``scaling.prescan.n<N>``), and
+with ``history=`` the best-of times land in ``BENCH_history.jsonl`` as
+``scaling.dp`` / ``scaling.prescan`` records -- the same trajectory the
+benchmark suite feeds, so scaling runs participate in the perf
+regression gate.
 """
 
 from __future__ import annotations
 
-import math
-import time
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..cache.model import CostModel
 from ..cache.optimal_dp import optimal_cost
 from ..engine.prescan import PreScan
+from ..obs.bench import BenchHistory, time_best_of
+from ..obs.timers import PhaseTimers
 from ..trace.workload import random_single_item_view
 from .base import ExperimentResult
 
@@ -26,27 +35,27 @@ __all__ = ["run_scaling", "DEFAULT_SIZES"]
 DEFAULT_SIZES: Sequence[int] = (100, 200, 400, 800, 1600, 3200)
 
 
-def _time(fn, *args, repeats: int = 3) -> float:
-    best = math.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 def run_scaling(
     *,
     sizes: Sequence[int] = DEFAULT_SIZES,
     num_servers: int = 50,
     seed: int = 11,
+    repeats: int = 3,
+    history: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
-    """Time the DP and pre-scan over growing ``n``; fit log-log slopes."""
+    """Time the DP and pre-scan over growing ``n``; fit log-log slopes.
+
+    ``history`` (a ``BENCH_history.jsonl`` path) appends one record per
+    timed curve -- bench ids ``scaling.dp`` / ``scaling.prescan``,
+    seconds = total best-of time over the sweep, per-size seconds in the
+    counters -- so harness runs are tracked alongside the benchmarks.
+    """
     model = CostModel(mu=1.0, lam=1.0)
+    timers = PhaseTimers()
     result = ExperimentResult(
         experiment_id="scaling",
         title="Section V-B -- time scaling of the DP service pass and pre-scan",
-        params={"num_servers": num_servers, "seed": seed},
+        params={"num_servers": num_servers, "seed": seed, "repeats": repeats},
         xlabel="n (requests)",
         ylabel="seconds",
     )
@@ -55,14 +64,24 @@ def run_scaling(
     scan_curve = []
     for n in sizes:
         view = random_single_item_view(n, num_servers, seed=seed, horizon=float(n))
-        t_dp = _time(optimal_cost, view, model)
-        t_scan = _time(PreScan, view)
+        t_dp = time_best_of(
+            optimal_cost, view, model,
+            repeats=repeats, timers=timers, phase=f"scaling.dp.n{n}",
+        )
+        t_scan = time_best_of(
+            PreScan, view,
+            repeats=repeats, timers=timers, phase=f"scaling.prescan.n{n}",
+        )
         dp_curve.append((float(n), t_dp))
         scan_curve.append((float(n), t_scan))
+        # the timers saw every repeat, so seconds/calls is the mean --
+        # reported next to the best-of to expose timing noise
+        dp_mean = timers.seconds(f"scaling.dp.n{n}") / repeats
         result.rows.append(
             {
                 "n": n,
                 "dp_seconds": round(t_dp, 6),
+                "dp_seconds_mean": round(dp_mean, 6),
                 "prescan_seconds": round(t_scan, 6),
             }
         )
@@ -83,4 +102,19 @@ def run_scaling(
         f"log-log slopes: DP {dp_slope:.2f} (theory ~2 in n), "
         f"pre-scan {scan_slope:.2f} (theory ~1 in n at fixed m)"
     )
+
+    if history is not None:
+        recorder = BenchHistory(history)
+        counters = {"num_servers": num_servers, "repeats": repeats}
+        recorder.append(
+            "scaling.dp",
+            sum(t for _, t in dp_curve),
+            {**counters, **{f"n{int(n)}": t for n, t in dp_curve}},
+        )
+        recorder.append(
+            "scaling.prescan",
+            sum(t for _, t in scan_curve),
+            {**counters, **{f"n{int(n)}": t for n, t in scan_curve}},
+        )
+        result.notes.append(f"bench history appended to {history}")
     return result

@@ -1,6 +1,6 @@
 """repro.obs: structured observability for the DP_Greedy pipeline.
 
-The subsystem has three legs, assembled per run by
+The subsystem has five legs; the first three are assembled per run by
 :class:`~repro.obs.metrics.RunObservation`:
 
 * the **cost ledger** (:mod:`repro.obs.ledger`) attributes every charged
@@ -10,14 +10,29 @@ The subsystem has three legs, assembled per run by
 * the **phase timers** (:mod:`repro.obs.timers`) accumulate wall time
   for Phase-1 similarity/packing and Phase-2 per-unit solves;
 * the **counter registry** (:mod:`repro.obs.counters`) absorbs
-  ``EngineStats`` and ``SolverMemo`` counters into one namespaced map.
+  ``EngineStats`` and ``SolverMemo`` counters into one namespaced map;
+* the **span tracer** (:mod:`repro.obs.tracing`) records nested timing
+  spans across the whole pipeline -- including inside pool workers --
+  and exports Chrome trace-event JSON (Perfetto-loadable);
+* the **bench history** (:mod:`repro.obs.bench`) appends every benchmark
+  run to ``results/BENCH_history.jsonl`` and gates perf regressions
+  against a rolling baseline.
 
-Emission is strictly opt-in: pass ``obs=RunObservation()`` to
-:func:`repro.core.dp_greedy.solve_dp_greedy` (or ``metrics=True`` to a
-sweep harness, or ``--metrics`` on the CLI).  When no observer is given
-the hot paths run untouched.
+Emission is strictly opt-in: pass ``obs=RunObservation()`` and/or
+``tracer=Tracer()`` to :func:`repro.core.dp_greedy.solve_dp_greedy` (or
+``metrics=True`` / ``trace=True`` to a sweep harness, or ``--metrics`` /
+``--trace PATH`` on the CLI).  When no observer is given the hot paths
+run untouched.
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    BenchHistory,
+    BenchRecord,
+    BenchVerdict,
+    check_history,
+    time_best_of,
+)
 from .counters import CounterRegistry
 from .ledger import (
     ACTIONS,
@@ -32,6 +47,7 @@ from .metrics import (
     write_metrics,
 )
 from .timers import PhaseTimers
+from .tracing import SpanRecord, Tracer, maybe_span, write_chrome_trace
 
 __all__ = [
     "ACTIONS",
@@ -44,4 +60,14 @@ __all__ = [
     "MetricsCollector",
     "RunObservation",
     "write_metrics",
+    "SpanRecord",
+    "Tracer",
+    "maybe_span",
+    "write_chrome_trace",
+    "BENCH_SCHEMA",
+    "BenchHistory",
+    "BenchRecord",
+    "BenchVerdict",
+    "check_history",
+    "time_best_of",
 ]

@@ -27,8 +27,12 @@ from .timers import PhaseTimers
 
 __all__ = ["METRICS_SCHEMA", "RunObservation", "MetricsCollector", "write_metrics"]
 
-#: Schema identifier stamped into every metrics snapshot.
-METRICS_SCHEMA = "repro.obs/metrics/v1"
+#: Schema identifier stamped into every metrics snapshot.  v2 is a
+#: strict superset of v1: every run record and the aggregate gain a
+#: ``spans`` section (per-span-name ``{seconds, calls}`` from the
+#: ``repro.obs.tracing`` tracer; empty when tracing was off).  All v1
+#: keys are unchanged, so v1 consumers keep working unmodified.
+METRICS_SCHEMA = "repro.obs/metrics/v2"
 
 #: Observation-2 serving modes -> ledger actions.  The mode strings are
 #: owned by :mod:`repro.core.dp_greedy` (MODE_CACHE/MODE_TRANSFER/
@@ -45,6 +49,7 @@ class RunObservation:
         "ledger",
         "timers",
         "counters",
+        "spans",
         "total_cost",
         "reconciliation_error",
     )
@@ -55,6 +60,9 @@ class RunObservation:
         self.ledger = CostLedger()
         self.timers = PhaseTimers()
         self.counters = CounterRegistry()
+        #: Per-span-name aggregates from the run's tracer window
+        #: (``{name: {seconds, calls}}``); empty when tracing was off.
+        self.spans: Dict[str, Dict[str, float]] = {}
         self.total_cost: Optional[float] = None
         self.reconciliation_error: Optional[float] = None
 
@@ -66,6 +74,7 @@ class RunObservation:
         *,
         engine_stats: Optional[object] = None,
         memo: Optional[object] = None,
+        spans: Optional[Dict[str, Dict[str, float]]] = None,
     ) -> None:
         """Ingest one solve's reports into the ledger and reconcile.
 
@@ -73,9 +82,24 @@ class RunObservation:
         ``group`` plus the ``attribution`` charge list of the DP part and
         the ``modes`` list of Observation-2 single-sided decisions.  The
         paper pins at most one request per time instant, so timestamps
-        are translated back to global request indices exactly.
+        are translated back to global request indices exactly -- a
+        sequence violating that assumption would silently mis-attribute
+        charges, hence duplicate timestamps are rejected outright.
+        ``spans`` (the run's :meth:`~repro.obs.tracing.Tracer.aggregate`
+        window) lands in the snapshot's v2 ``spans`` section.
         """
         index_of = {t: i for i, t in enumerate(seq.times)}
+        if len(index_of) != len(seq.times):
+            seen = set()
+            dupes = sorted(
+                {t for t in seq.times if t in seen or seen.add(t)}
+            )
+            raise ValueError(
+                "sequence violates the at-most-one-request-per-instant "
+                f"assumption: duplicate timestamps {dupes[:5]}"
+                f"{'...' if len(dupes) > 5 else ''} cannot be attributed "
+                "unambiguously"
+            )
         for rep in reports:
             unit = tuple(sorted(rep.group))
             for t, action, amount in getattr(rep, "attribution", None) or ():
@@ -88,6 +112,8 @@ class RunObservation:
             self.counters.set("engine.memo_hit_rate", engine_stats.memo_hit_rate)
         if memo is not None:
             self.counters.absorb(memo.stats(), prefix="memo.")
+        if spans:
+            self.spans = {name: dict(rec) for name, rec in spans.items()}
         self.total_cost = float(total_cost)
         self.reconciliation_error = self.ledger.reconcile(total_cost)
 
@@ -100,6 +126,7 @@ class RunObservation:
             "reconciliation_error": self.reconciliation_error,
             "ledger": self.ledger.snapshot(),
             "phases": self.timers.snapshot(),
+            "spans": {name: dict(rec) for name, rec in self.spans.items()},
             "counters": self.counters.snapshot(),
         }
 
@@ -125,16 +152,18 @@ class MetricsCollector:
     def snapshot(self) -> Dict[str, object]:
         """The full ``METRICS_*.json`` payload (see README for the schema)."""
         finalized = [o for o in self._runs if o.total_cost is not None]
+        # one full-ledger scan per run (by_action is O(#entries)); the
+        # per-action totals then index into the cached dicts
+        per_run_actions = [o.ledger.by_action() for o in finalized]
         action_totals = {
-            a: math.fsum(o.ledger.by_action()[a] for o in finalized)
+            a: math.fsum(actions[a] for actions in per_run_actions)
             for a in ACTIONS
         }
-        phases: Dict[str, Dict[str, float]] = {}
+        phase_agg = PhaseTimers()
+        span_agg = PhaseTimers()
         for o in finalized:
-            for name, rec in o.timers.snapshot().items():
-                agg = phases.setdefault(name, {"seconds": 0.0, "calls": 0})
-                agg["seconds"] += rec["seconds"]
-                agg["calls"] += rec["calls"]
+            phase_agg.merge(o.timers)
+            span_agg.merge(o.spans)
         return {
             "schema": METRICS_SCHEMA,
             "runs": [o.snapshot() for o in finalized],
@@ -142,7 +171,8 @@ class MetricsCollector:
                 "runs": len(finalized),
                 "total_cost": math.fsum(o.total_cost for o in finalized),
                 "actions": action_totals,
-                "phases": phases,
+                "phases": phase_agg.snapshot(),
+                "spans": span_agg.snapshot(),
                 "max_reconciliation_error": max(
                     (o.reconciliation_error for o in finalized), default=0.0
                 ),

@@ -1,0 +1,267 @@
+"""Span-based tracing of the DP_Greedy solve pipeline.
+
+Where :class:`~repro.obs.timers.PhaseTimers` answers *how much* time each
+phase took, the tracer answers *where inside the run* that time sat: it
+records one :class:`SpanRecord` per instrumented region -- Phase 1's
+similarity scan and packing, the engine's memo probes (hit/miss stamped
+as span attributes), pool dispatch, and every per-unit Phase 2 solve,
+*including solves that ran inside thread- and process-pool workers*.
+
+The result exports as Chrome trace-event JSON (the ``"X"`` complete-event
+flavour), loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: each process appears as one ``pid`` track, each
+worker thread as one ``tid`` row, and nesting is implied by containment
+of ``[ts, ts+dur]`` intervals.
+
+Clock model
+-----------
+Spans are timestamped on a *wall-anchored monotonic clock*: at import,
+each process records the pair ``(time.time(), time.perf_counter())``
+once, and every span start is ``wall0 + (perf_counter() - mono0)``.
+Within a process this is exactly as monotonic as ``perf_counter``;
+across processes it is aligned to wall-clock precision.  Under the
+``fork`` start method (the engine's default) workers inherit the parent
+anchor byte-for-byte, so parent and worker spans share one timeline with
+no offset at all; under ``spawn`` the worker re-anchors and alignment is
+as good as the host's wall clock (~ms), which is ample for pool-dispatch
+granularity.
+
+Worker spans are recorded into a worker-local :class:`Tracer` and
+shipped back to the parent with the unit's result (``SpanRecord`` is a
+plain frozen dataclass, cheap to pickle), where :meth:`Tracer.extend`
+merges them -- the records already carry the worker's real ``pid`` and
+``tid``, so the merged trace shows every worker as its own track.
+
+Tracing is strictly opt-in and the hot paths stay untouched without it:
+:func:`maybe_span` returns a shared no-op context manager when the
+tracer is ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "Tracer",
+    "maybe_span",
+    "write_chrome_trace",
+]
+
+# Per-process wall anchor: span time = _WALL0 + (perf_counter() - _MONO0).
+# Forked workers inherit these values, so their spans land on the parent
+# timeline exactly; spawned workers re-anchor at module import.
+_WALL0 = time.time()
+_MONO0 = time.perf_counter()
+
+
+def _now() -> float:
+    """Wall-anchored monotonic seconds (see module docstring)."""
+    return _WALL0 + (time.perf_counter() - _MONO0)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a named ``[start, start+duration]`` interval.
+
+    ``start`` is wall-anchored monotonic seconds (absolute), ``duration``
+    is seconds; ``pid``/``tid`` identify the process and thread that ran
+    the region, and ``args`` carries free-form attributes (e.g.
+    ``{"memo": "hit"}``).  Frozen and pickle-friendly so pool workers can
+    ship their spans back to the parent.
+    """
+
+    name: str
+    cat: str
+    start: float
+    duration: float
+    pid: int
+    tid: int
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class Span:
+    """Mutable handle for an *open* span; lets the traced region attach
+    attributes before the span closes (``span.set("memo", "hit")``)."""
+
+    __slots__ = ("name", "cat", "args")
+
+    def __init__(self, name: str, cat: str, args: Dict[str, object]) -> None:
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def set(self, key: str, value: object) -> None:
+        self.args[key] = value
+
+
+class _NullSpan:
+    """The no-op handle yielded when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def _null_span() -> Iterator[_NullSpan]:
+    yield _NULL_SPAN
+
+
+def maybe_span(
+    tracer: "Optional[Tracer]", name: str, cat: str = "phase", **args: object
+):
+    """``tracer.span(...)`` when tracing is on, a shared no-op otherwise.
+
+    The instrumentation sites use this so the untraced hot path costs one
+    ``None`` check and a generator context enter/exit -- no allocation of
+    span state."""
+    if tracer is None:
+        return _null_span()
+    return tracer.span(name, cat=cat, **args)
+
+
+class Tracer:
+    """Thread-safe collector of :class:`SpanRecord`.
+
+    One tracer spans one logical run (a solve, or a whole sweep): every
+    thread of the owning process records into it directly (each span
+    stamps its own ``tid``), and process-pool workers record into a
+    worker-local tracer whose records are shipped back and merged with
+    :meth:`extend`.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def span(self, name: str, cat: str = "phase", **args: object) -> Iterator[Span]:
+        """Record the enclosed block as one span.
+
+        The yielded :class:`Span` accepts late attributes via
+        :meth:`Span.set`; the record is appended when the block exits
+        (also on exception, so failed regions still show in the trace).
+        """
+        handle = Span(name, cat, dict(args))
+        start = _now()
+        try:
+            yield handle
+        finally:
+            duration = _now() - start
+            record = SpanRecord(
+                name=handle.name,
+                cat=handle.cat,
+                start=start,
+                duration=duration,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                args=handle.args,
+            )
+            with self._lock:
+                self._records.append(record)
+
+    # -- merging ---------------------------------------------------------
+    def extend(self, records: Iterable[SpanRecord]) -> None:
+        """Merge spans shipped back from a pool worker (already on the
+        shared wall-anchored timeline; see the module docstring)."""
+        with self._lock:
+            self._records.extend(records)
+
+    # -- access ----------------------------------------------------------
+    def mark(self) -> int:
+        """Current record count; pass to :meth:`records`/:meth:`aggregate`
+        as ``since`` to scope a window of the trace (one solve of a
+        sweep)."""
+        with self._lock:
+            return len(self._records)
+
+    def records(self, since: int = 0) -> Tuple[SpanRecord, ...]:
+        """Finished spans (appended order), optionally from a mark."""
+        with self._lock:
+            return tuple(self._records[since:])
+
+    def __len__(self) -> int:
+        return self.mark()
+
+    def aggregate(self, since: int = 0) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregates ``{name: {seconds, calls}}``, sorted.
+
+        This is the ``spans`` section of the ``METRICS`` v2 schema -- the
+        same shape as :meth:`PhaseTimers.snapshot`, so worker-side span
+        time can be folded into timers via :meth:`PhaseTimers.merge`.
+        """
+        acc: Dict[str, List[float]] = {}
+        for rec in self.records(since):
+            slot = acc.setdefault(rec.name, [0.0, 0])
+            slot[0] += rec.duration
+            slot[1] += 1
+        return {
+            name: {"seconds": sec, "calls": int(calls)}
+            for name, (sec, calls) in sorted(acc.items())
+        }
+
+    # -- export ----------------------------------------------------------
+    def to_chrome(self) -> Dict[str, object]:
+        """The trace as a Chrome trace-event JSON object.
+
+        Timestamps are microseconds relative to the earliest span, one
+        ``"X"`` (complete) event per span plus ``"M"`` metadata events
+        naming each process track.  Loadable as-is in Perfetto or
+        ``chrome://tracing``.
+        """
+        records = self.records()
+        t0 = min((r.start for r in records), default=0.0)
+        own_pid = os.getpid()
+        events: List[Dict[str, object]] = []
+        for pid in sorted({r.pid for r in records}):
+            label = "dp_greedy" if pid == own_pid else f"pool worker {pid}"
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        for rec in sorted(records, key=lambda r: (r.start, -r.duration)):
+            events.append(
+                {
+                    "ph": "X",
+                    "name": rec.name,
+                    "cat": rec.cat,
+                    "ts": (rec.start - t0) * 1e6,
+                    "dur": rec.duration * 1e6,
+                    "pid": rec.pid,
+                    "tid": rec.tid,
+                    "args": dict(rec.args),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        return write_chrome_trace(self.to_chrome(), path)
+
+
+def write_chrome_trace(
+    trace: Dict[str, object], path: Union[str, Path]
+) -> Path:
+    """Persist a :meth:`Tracer.to_chrome` payload as JSON."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trace, indent=2) + "\n")
+    return out

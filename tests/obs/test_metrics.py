@@ -139,6 +139,89 @@ class TestRunObservation:
         assert units <= expected
 
 
+class TestDuplicateTimestampGuard:
+    def test_finalize_rejects_duplicate_timestamps(self):
+        # RequestSequence itself forbids duplicates, so model the broken
+        # upstream producer finalize defends against with a bare stub
+        from types import SimpleNamespace
+
+        from repro.obs.metrics import RunObservation
+
+        obs = RunObservation()
+        seq = SimpleNamespace(times=(1.0, 2.0, 2.0, 3.0, 3.0))
+        with pytest.raises(ValueError, match="duplicate timestamps"):
+            obs.finalize(seq, reports=(), total_cost=0.0)
+        # the message names the offending instants
+        with pytest.raises(ValueError, match=r"2\.0"):
+            obs.finalize(seq, reports=(), total_cost=0.0)
+
+    def test_finalize_accepts_unique_timestamps(self):
+        from types import SimpleNamespace
+
+        from repro.obs.metrics import RunObservation
+
+        obs = RunObservation()
+        obs.finalize(
+            SimpleNamespace(times=(1.0, 2.0, 3.0)), reports=(), total_cost=0.0
+        )
+        assert obs.total_cost == 0.0
+
+
+class TestMetricsV2Spans:
+    def test_traced_run_lands_in_spans_sections(self):
+        from repro.obs.tracing import Tracer
+
+        seq = correlated_pair_sequence(60, 5, 0.4, seed=9)
+        model = CostModel(mu=1, lam=1)
+        collector = MetricsCollector()
+        tracer = Tracer()
+        solve_dp_greedy(
+            seq, model, theta=0.3, alpha=0.8,
+            obs=collector.observe(), tracer=tracer,
+        )
+        snap = collector.snapshot()
+        assert snap["schema"] == "repro.obs/metrics/v2"
+        run_spans = snap["runs"][0]["spans"]
+        assert "phase1.similarity" in run_spans
+        assert "phase2.solve" in run_spans
+        assert set(run_spans["phase2.solve"]) == {"seconds", "calls"}
+        # the aggregate folds the per-run spans
+        assert snap["aggregate"]["spans"]["phase2.solve"]["calls"] == (
+            run_spans["phase2.solve"]["calls"]
+        )
+
+    def test_untraced_run_has_empty_spans(self):
+        seq = correlated_pair_sequence(60, 5, 0.4, seed=9)
+        collector = MetricsCollector()
+        solve_dp_greedy(
+            seq, CostModel(mu=1, lam=1), theta=0.3, alpha=0.8,
+            obs=collector.observe(),
+        )
+        snap = collector.snapshot()
+        assert snap["runs"][0]["spans"] == {}
+        assert snap["aggregate"]["spans"] == {}
+
+    def test_sweep_tracer_windows_do_not_leak_across_runs(self):
+        # one tracer spanning a sweep: each run's spans section must only
+        # cover its own solve (the mark/since window), not the whole sweep
+        from repro.obs.tracing import Tracer
+
+        seq = correlated_pair_sequence(60, 5, 0.4, seed=9)
+        model = CostModel(mu=1, lam=1)
+        collector = MetricsCollector()
+        tracer = Tracer()
+        for r in range(2):
+            solve_dp_greedy(
+                seq, model, theta=0.3, alpha=0.8,
+                obs=collector.observe(repeat=r), tracer=tracer,
+            )
+        runs = collector.snapshot()["runs"]
+        assert (
+            runs[0]["spans"]["phase2.solve"]["calls"]
+            == runs[1]["spans"]["phase2.solve"]["calls"]
+        )
+
+
 class TestMetricsCollector:
     def test_snapshot_schema_and_aggregate(self, tmp_path):
         seq = correlated_pair_sequence(60, 5, 0.4, seed=9)

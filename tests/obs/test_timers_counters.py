@@ -50,6 +50,46 @@ class TestPhaseTimers:
         assert timers.seconds("nope") == 0.0
         assert timers.calls("nope") == 0
 
+    def test_add_folds_external_intervals(self):
+        timers = PhaseTimers()
+        timers.add("p", 1.5)
+        timers.add("p", 0.5, calls=3)
+        assert timers.seconds("p") == pytest.approx(2.0)
+        assert timers.calls("p") == 4
+        with pytest.raises(ValueError):
+            timers.add("p", -0.1)
+
+    def test_merge_timers_and_snapshot_shaped_mappings(self):
+        a = PhaseTimers()
+        a.add("x", 1.0)
+        b = PhaseTimers()
+        b.add("x", 2.0, calls=2)
+        b.add("y", 0.25)
+        a.merge(b)
+        # a Tracer.aggregate()-shaped plain mapping merges the same way
+        a.merge({"y": {"seconds": 0.75, "calls": 3}})
+        assert a.seconds("x") == pytest.approx(3.0)
+        assert a.calls("x") == 3
+        assert a.seconds("y") == pytest.approx(1.0)
+        assert a.calls("y") == 4
+
+    def test_concurrent_adds_do_not_drop_updates(self):
+        import threading as _threading
+
+        timers = PhaseTimers()
+
+        def hammer():
+            for _ in range(500):
+                timers.add("p", 0.001)
+
+        threads = [_threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert timers.calls("p") == 2000
+        assert timers.seconds("p") == pytest.approx(2.0)
+
 
 class TestCounterRegistry:
     def test_set_get_add(self):

@@ -1,0 +1,239 @@
+"""Tests for span tracing: the tracer itself, the Chrome export, and the
+instrumented pipeline (including pool workers and the memo).
+
+The golden-export tests pin the Chrome trace-event contract (Perfetto /
+``chrome://tracing`` compatibility); the equivalence tests pin the
+tracing-never-changes-the-answer guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cache.model import CostModel
+from repro.core.dp_greedy import solve_dp_greedy
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    maybe_span,
+    write_chrome_trace,
+)
+from repro.trace.workload import zipf_item_workload
+
+_MODEL = CostModel(mu=1.0, lam=1.0)
+
+
+def _workload():
+    """A workload with several serving units (packages AND singletons),
+    so pool configurations genuinely dispatch."""
+    return zipf_item_workload(200, 6, 10, seed=5)
+
+
+def _traced_solve(seq, *, tracer, **engine):
+    return solve_dp_greedy(
+        seq, _MODEL, theta=0.3, alpha=0.8, tracer=tracer, **engine
+    )
+
+
+class TestTracer:
+    def test_span_records_interval_and_identity(self):
+        tracer = Tracer()
+        with tracer.span("work", cat="test", n=3):
+            pass
+        (rec,) = tracer.records()
+        assert rec.name == "work" and rec.cat == "test"
+        assert rec.args == {"n": 3}
+        assert rec.duration >= 0.0
+        assert rec.pid == os.getpid()
+        assert rec.tid == threading.get_ident()
+
+    def test_nested_spans_are_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records()  # inner closes first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.start <= inner.start
+        assert inner.start + inner.duration <= outer.start + outer.duration + 1e-9
+
+    def test_late_attributes_via_span_set(self):
+        tracer = Tracer()
+        with tracer.span("probe") as span:
+            span.set("memo", "hit")
+        (rec,) = tracer.records()
+        assert rec.args["memo"] == "hit"
+
+    def test_span_recorded_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer) == 1
+
+    def test_mark_scopes_a_window(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.records(since=mark)] == ["after"]
+        assert set(tracer.aggregate(since=mark)) == {"after"}
+
+    def test_extend_merges_worker_records(self):
+        tracer = Tracer()
+        foreign = SpanRecord(
+            name="phase2.solve",
+            cat="phase2",
+            start=1.0,
+            duration=0.5,
+            pid=99999,
+            tid=1,
+            args={"unit": "item(0)"},
+        )
+        tracer.extend([foreign])
+        assert tracer.records() == (foreign,)
+
+    def test_aggregate_matches_timers_snapshot_shape(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase2.solve"):
+                pass
+        agg = tracer.aggregate()
+        assert agg["phase2.solve"]["calls"] == 3
+        assert agg["phase2.solve"]["seconds"] >= 0.0
+
+    def test_empty_tracer_is_falsy_but_not_none(self):
+        # Tracer defines __len__, so `if tracer:` is False when empty --
+        # call sites must test `is not None`; this pin documents the trap
+        tracer = Tracer()
+        assert not tracer
+        assert tracer is not None
+
+
+class TestMaybeSpan:
+    def test_none_tracer_yields_noop_handle(self):
+        with maybe_span(None, "anything", cat="x", k=1) as span:
+            span.set("memo", "hit")  # must not raise
+
+    def test_real_tracer_records(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "real", cat="x"):
+            pass
+        assert [r.name for r in tracer.records()] == ["real"]
+
+
+class TestChromeExport:
+    """Golden test of the trace-event JSON contract."""
+
+    def _trace_of(self, **engine):
+        seq = _workload()
+        tracer = Tracer()
+        _traced_solve(seq, tracer=tracer, **engine)
+        return tracer, tracer.to_chrome()
+
+    def test_chrome_payload_is_valid(self, tmp_path):
+        tracer, chrome = self._trace_of()
+        assert set(chrome) == {"traceEvents", "displayTimeUnit"}
+        assert chrome["displayTimeUnit"] == "ms"
+        xs = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        ms = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert len(xs) == len(tracer)
+        assert {e["name"] for e in ms} == {"process_name"}
+        assert {e["pid"] for e in ms} == {r.pid for r in tracer.records()}
+        for e in xs:
+            assert isinstance(e["ts"], float) and e["ts"] >= 0.0
+            assert isinstance(e["dur"], float) and e["dur"] >= 0.0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+        # round-trips through JSON on disk
+        path = write_chrome_trace(chrome, tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == chrome
+
+    def test_serial_solve_spans_nest_inside_phase2(self):
+        tracer, _ = self._trace_of()
+        names = [r.name for r in tracer.records()]
+        for expected in (
+            "phase1.similarity",
+            "phase1.packing",
+            "phase2.serve",
+            "phase2.solve",
+        ):
+            assert expected in names, expected
+        (serve,) = [r for r in tracer.records() if r.name == "phase2.serve"]
+        solves = [r for r in tracer.records() if r.name == "phase2.solve"]
+        assert solves
+        for s in solves:
+            assert serve.start <= s.start + 1e-9
+            assert s.start + s.duration <= serve.start + serve.duration + 1e-9
+            assert s.args["unit"]  # e.g. "pkg(1,2)" / "item(7)"
+
+    def test_thread_pool_spans_carry_worker_tids(self):
+        tracer, _ = self._trace_of(workers=2, pool="thread")
+        solves = [r for r in tracer.records() if r.name == "phase2.solve"]
+        assert solves
+        # the solves ran on executor threads, not the main thread
+        main_tid = threading.get_ident()
+        assert all(r.tid != main_tid for r in solves)
+        assert len({r.tid for r in tracer.records()}) >= 2
+
+    def test_process_pool_spans_carry_worker_pids(self):
+        tracer, chrome = self._trace_of(workers=2, pool="process")
+        solves = [r for r in tracer.records() if r.name == "phase2.solve"]
+        assert solves
+        parent = os.getpid()
+        assert all(r.pid != parent for r in solves)
+        # each worker process gets its own named metadata track
+        labels = {
+            e["args"]["name"]
+            for e in chrome["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "dp_greedy" in labels
+        assert any(label.startswith("pool worker") for label in labels)
+
+    def test_memo_probes_stamp_hit_and_miss(self):
+        seq = _workload()
+        from repro.engine.memo import SolverMemo
+
+        memo = SolverMemo()
+        tracer = Tracer()
+        _traced_solve(seq, tracer=tracer, workers=1, memo=memo)
+        first = [r for r in tracer.records() if r.name == "engine.memo_probe"]
+        assert first and all(r.args["memo"] == "miss" for r in first)
+        mark = tracer.mark()
+        _traced_solve(seq, tracer=tracer, workers=1, memo=memo)
+        second = [
+            r
+            for r in tracer.records(since=mark)
+            if r.name == "engine.memo_probe"
+        ]
+        assert second and any(r.args["memo"] == "hit" for r in second)
+
+
+class TestTracingEquivalence:
+    """Tracing must never change what the solver computes."""
+
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            dict(),
+            dict(workers=1, pool="serial"),
+            dict(workers=2, pool="thread"),
+            dict(workers=2, pool="process"),
+            dict(workers=1, memo=True),
+            dict(workers=2, pool="thread", memo=True),
+        ],
+        ids=["classic", "engine-serial", "thread", "process", "memo", "thread-memo"],
+    )
+    def test_traced_run_is_byte_identical(self, engine):
+        seq = zipf_item_workload(160, 8, 10, seed=11)
+        ref = solve_dp_greedy(seq, _MODEL, theta=0.3, alpha=0.8, **engine)
+        got = _traced_solve(seq, tracer=Tracer(), **engine)
+        assert got.total_cost == ref.total_cost  # exact, not approx
+        assert got.reports == ref.reports
+        assert got.plan == ref.plan

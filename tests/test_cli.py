@@ -98,7 +98,7 @@ class TestMetricsFlag:
         path = out_dir / "METRICS_fig12.json"
         assert path.exists()
         snap = json.loads(path.read_text())
-        assert snap["schema"] == "repro.obs/metrics/v1"
+        assert snap["schema"] == "repro.obs/metrics/v2"
         assert snap["aggregate"]["max_reconciliation_error"] <= 1e-9
         assert "METRICS_fig12.json" in capsys.readouterr().out
 
