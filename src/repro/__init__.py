@@ -83,11 +83,13 @@ from .core import (
 from .correlation import (
     CorrelationStats,
     PackingPlan,
+    SparseCorrelationStats,
     correlation_stats,
     greedy_group_packing,
     greedy_pair_packing,
     jaccard_similarity,
     pair_similarities,
+    sparse_correlation_stats,
 )
 from .engine import (
     EngineStats,
@@ -135,7 +137,9 @@ __all__ = [
     "brute_force_cost",
     # correlation
     "CorrelationStats",
+    "SparseCorrelationStats",
     "correlation_stats",
+    "sparse_correlation_stats",
     "jaccard_similarity",
     "pair_similarities",
     "PackingPlan",

@@ -28,24 +28,38 @@ optimal schedule decomposes into
 
 Cross-gap interaction is captured by one scalar state: ``M``, the furthest
 event index whose preceding gaps are already covered by committed
-intervals.  The DP over ``(event, M)`` has ``O(n^2)`` states and ``O(1)``
-transitions, well within the paper's ``O(m n^2)`` envelope for the full
-two-phase algorithm.
+intervals.
 
-Two implementations are provided and cross-checked in tests:
+Sparse frontier
+---------------
+Although ``M`` ranges over ``0..n``, at most ``m + 1`` frontier states are
+ever live simultaneously: after the gap step of event ``i`` every state
+``M <= i`` has collapsed into the single *base* state ``M = i + 1``, and a
+state ``M > i + 1`` can only be ``next(i')`` for the **latest** processed
+event ``i'`` on its server (earlier events on the same server have
+``next`` pointers that already collapsed).  The default implementation
+exploits this: the frontier is one scalar base state plus at most one
+*pending* keep-interval state per server, giving ``O(n * m)`` time
+(``O(n)`` for small ``m``) and ``O(n * m)`` reconstruction history --
+down from the ``O(n^2)`` dense sweeps.
 
-* :func:`solve_optimal` -- dict-based DP with parent tracking; returns the
-  exact cost *and* a reconstructed :class:`~repro.cache.schedule.Schedule`
-  that the independent validator accepts.
-* :func:`optimal_cost` -- NumPy-vectorised cost-only fast path (one
-  ``O(n)`` sweep per event), used by the experiment harnesses.
+Two backends are provided and cross-checked bit-for-bit in tests (each
+path's cost is the same left-to-right float sum of the same charges, so
+costs agree exactly; on exact cost *ties* the backends may pick different
+-- equally optimal -- decision paths):
+
+* ``backend="sparse"`` (default) -- the per-server sparse frontier above;
+* ``backend="dense"`` -- the historical reference: a dict sweep over all
+  reachable ``M`` for :func:`solve_optimal` and a NumPy dense cost vector
+  for :func:`optimal_cost`.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +69,10 @@ from .schedule import CacheInterval, Schedule, Transfer
 __all__ = ["OptimalResult", "solve_optimal", "optimal_cost", "attribute_cost"]
 
 _KEEP, _DROP, _NODECISION = 1, 0, -1
+
+#: Timestamp slack mirrored from :mod:`repro.cache.schedule` (interval
+#: ``covers`` uses inclusive endpoints with this tolerance).
+_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -114,12 +132,142 @@ def _first_on_server_transfers(
     return [i for i in range(1, len(servers)) if i not in preceded]
 
 
+# ---------------------------------------------------------------------------
+# sparse-frontier sweeps (default backend)
+# ---------------------------------------------------------------------------
+#
+# Frontier invariant at the start of iteration ``i``: one *base* state
+# ``M = i`` plus pending states ``pend[s] = (M_s, cost_s)`` with
+# ``M_s = next(latest processed event on server s) > i``.  The event on
+# server ``s_i`` whose ``next`` pointer equals ``i`` merged into the base
+# during the gap step of ``i - 1``, so slot ``pend[s_i]`` is always free
+# when event ``i`` opens a new keep interval.
+#
+# Tie-breaks mirror the dense sweep where it is well-defined: a state that
+# can stay put via keep or drop prefers *keep* on equal cost.  Where the
+# dense dict order decided (collapsed-keep parent, base-vs-pending merge)
+# the sparse sweep uses a canonical rule: smallest (cost, M) parent, and
+# the pending (non-backbone) state wins a merge tie.
+
+def _sparse_cost_sweep(
+    servers: Sequence[int],
+    times: Sequence[float],
+    nxt: Sequence[Optional[int]],
+    mu: float,
+    lam: float,
+) -> float:
+    """Cost-only sparse-frontier sweep: ``O(n * m)`` time, ``O(m)`` space."""
+    n = len(times) - 1
+    base_cost = 0.0
+    # pend[server] = [M, cost]
+    pend: Dict[int, List] = {}
+    for i in range(n + 1):
+        j = nxt[i]
+        if j is not None:
+            keep_cost = mu * (times[j] - times[i])
+            best = base_cost
+            if keep_cost <= lam:
+                for rec in pend.values():
+                    c = rec[1]
+                    if rec[0] <= j:
+                        if c < best:
+                            best = c
+                        rec[1] = c + lam
+                    else:
+                        rec[1] = c + keep_cost
+            else:
+                for rec in pend.values():
+                    if rec[0] <= j and rec[1] < best:
+                        best = rec[1]
+                    rec[1] += lam
+            base_cost += lam
+            pend[servers[i]] = [j, best + keep_cost]
+        if i < n:
+            uncovered = base_cost + mu * (times[i + 1] - times[i])
+            rec = pend.get(servers[i + 1])
+            if rec is not None and rec[0] == i + 1:
+                del pend[servers[i + 1]]
+                base_cost = rec[1] if rec[1] <= uncovered else uncovered
+            else:
+                base_cost = uncovered
+    return base_cost
+
+
+def _sparse_path_sweep(
+    servers: Sequence[int],
+    times: Sequence[float],
+    nxt: Sequence[Optional[int]],
+    mu: float,
+    lam: float,
+) -> Tuple[float, List[Dict[int, Tuple[int, int, bool]]]]:
+    """Sparse sweep with parent tracking for path reconstruction.
+
+    Returns ``(dp_cost, history)`` where ``history[i]`` maps each live
+    frontier state ``M`` after event ``i`` to ``(parent_M, decision,
+    backbone_flag)``.  Each per-event map holds at most ``m + 1``
+    entries, so the history is ``O(n * m)``.
+    """
+    n = len(times) - 1
+    base_cost = 0.0
+    base_M = 0
+    # pend[server] = [M, cost, parent_M, decision]
+    pend: Dict[int, List] = {}
+    history: List[Dict[int, Tuple[int, int, bool]]] = []
+    for i in range(n + 1):
+        j = nxt[i]
+        if j is None:
+            base_parent, base_dec = base_M, _NODECISION
+            for rec in pend.values():
+                rec[2], rec[3] = rec[0], _NODECISION
+        else:
+            keep_cost = mu * (times[j] - times[i])
+            best_c, best_M = base_cost, base_M
+            keep_wins = keep_cost <= lam
+            for rec in pend.values():
+                M, c = rec[0], rec[1]
+                if M <= j:
+                    if c < best_c or (c == best_c and M < best_M):
+                        best_c, best_M = c, M
+                    rec[1], rec[2], rec[3] = c + lam, M, _DROP
+                elif keep_wins:
+                    rec[1], rec[2], rec[3] = c + keep_cost, M, _KEEP
+                else:
+                    rec[1], rec[2], rec[3] = c + lam, M, _DROP
+            base_parent, base_dec = base_M, _DROP
+            base_cost += lam
+            assert servers[i] not in pend, "pending slot not merged"
+            pend[servers[i]] = [j, best_c + keep_cost, best_M, _KEEP]
+        hist_i: Dict[int, Tuple[int, int, bool]] = {}
+        if i < n:
+            uncovered = base_cost + mu * (times[i + 1] - times[i])
+            rec = pend.get(servers[i + 1])
+            if rec is not None and rec[0] == i + 1:
+                del pend[servers[i + 1]]
+                if rec[1] <= uncovered:
+                    base_cost = rec[1]
+                    hist_i[i + 1] = (rec[2], rec[3], False)
+                else:
+                    base_cost = uncovered
+                    hist_i[i + 1] = (base_parent, base_dec, True)
+            else:
+                base_cost = uncovered
+                hist_i[i + 1] = (base_parent, base_dec, True)
+            base_M = i + 1
+        else:
+            hist_i[base_M] = (base_parent, base_dec, False)
+        for rec in pend.values():
+            hist_i[rec[0]] = (rec[2], rec[3], False)
+        history.append(hist_i)
+    return base_cost, history
+
+
 def solve_optimal(
     view: "SingleItemView | RequestSequence",
     model: CostModel,
     *,
     build_schedule: bool = True,
     rate_multiplier: float = 1.0,
+    backend: str = "sparse",
 ) -> OptimalResult:
     """Solve the single-item off-line caching problem exactly.
 
@@ -136,7 +284,14 @@ def solve_optimal(
     build_schedule:
         When true (default), reconstruct and return a feasible schedule
         whose validator-recomputed cost equals ``cost``.
+    backend:
+        ``"sparse"`` (default) runs the ``O(n * m)`` per-server sparse
+        frontier; ``"dense"`` runs the historical ``O(n^2)`` dict sweep
+        kept as a cross-check reference.  Costs agree bit-for-bit; on
+        exact cost ties the chosen (equally optimal) path may differ.
     """
+    if backend not in ("sparse", "dense"):
+        raise ValueError(f"unknown DP backend {backend!r}")
     if isinstance(view, RequestSequence):
         view = view.single_item_view()
     servers, times = _event_arrays(view)
@@ -151,12 +306,45 @@ def solve_optimal(
     base_transfers = _first_on_server_transfers(servers, nxt)
     base_cost = lam * len(base_transfers)
 
-    # ------------------------------------------------------------------
-    # DP over (event i processed, coverage frontier M).  `frontier[M]` maps
-    # to (cost, parent-key) where parent-key encodes the path.
-    # ------------------------------------------------------------------
+    if backend == "dense":
+        dp_cost, decisions, backbone = _dense_path_sweep(servers, times, nxt, mu, lam)
+    else:
+        dp_cost, history = _sparse_path_sweep(servers, times, nxt, mu, lam)
+        # walk the single surviving frontier state (M = n) back to event 0
+        decisions = [_NODECISION] * (n + 1)
+        backbone = []
+        M = n
+        for i in range(n, -1, -1):
+            pM, dec, bb = history[i][M]
+            decisions[i] = dec
+            if bb:
+                backbone.append(i)
+            M = pM
+
+    total = (base_cost + dp_cost) * rate_multiplier
+    if not build_schedule:
+        return OptimalResult(total, None, tuple(decisions), tuple(sorted(backbone)))
+
+    schedule = _reconstruct_schedule(
+        servers, times, nxt, decisions, sorted(backbone), base_transfers, lam,
+        rate_multiplier,
+    )
+    return OptimalResult(total, schedule, tuple(decisions), tuple(sorted(backbone)))
+
+
+# ---------------------------------------------------------------------------
+# dense reference sweeps (cross-check backend)
+# ---------------------------------------------------------------------------
+def _dense_path_sweep(
+    servers: List[int],
+    times: List[float],
+    nxt: List[Optional[int]],
+    mu: float,
+    lam: float,
+) -> Tuple[float, List[int], List[int]]:
+    """The historical dict-based DP over all reachable ``(event, M)``."""
+    n = len(times) - 1
     # state key: M; value: (cost, parent_state_M, decision, backbone_flag)
-    # decision/backbone refer to what happened while processing event i.
     Entry = Tuple[float, Optional[int], int, bool]
     frontier: Dict[int, Entry] = {0: (0.0, None, _NODECISION, False)}
     history: List[Dict[int, Entry]] = []
@@ -201,11 +389,7 @@ def solve_optimal(
 
     best_M = min(frontier, key=lambda M: frontier[M][0])
     dp_cost = frontier[best_M][0]
-    total = (base_cost + dp_cost) * rate_multiplier
 
-    # ------------------------------------------------------------------
-    # path reconstruction
-    # ------------------------------------------------------------------
     decisions = [_NODECISION] * (n + 1)
     backbone: List[int] = []
     M = best_M
@@ -215,15 +399,7 @@ def solve_optimal(
         if bb:
             backbone.append(i)
         M = pM if pM is not None else 0
-
-    if not build_schedule:
-        return OptimalResult(total, None, tuple(decisions), tuple(sorted(backbone)))
-
-    schedule = _reconstruct_schedule(
-        servers, times, nxt, decisions, sorted(backbone), base_transfers, lam,
-        rate_multiplier,
-    )
-    return OptimalResult(total, schedule, tuple(decisions), tuple(sorted(backbone)))
+    return dp_cost, decisions, backbone
 
 
 def _reconstruct_schedule(
@@ -254,9 +430,14 @@ def _reconstruct_schedule(
             assert j is not None
             transfer_served.add(j)
 
+    # queries arrive in time order (event indices ascending), so one
+    # sorted-by-start sweep answers all source lookups
+    queries = sorted(transfer_served)
+    sources = _transfer_sources(
+        intervals, [(times[j], servers[j]) for j in queries]
+    )
     transfers: List[Transfer] = []
-    for j in sorted(transfer_served):
-        src = _find_source(intervals, servers[j], times[j])
+    for j, src in zip(queries, sources):
         if src is None:
             # Degenerate tie (possible only when lam == 0): the covering
             # copy already sits on the request's own server, so no physical
@@ -268,14 +449,44 @@ def _reconstruct_schedule(
     return Schedule(tuple(intervals), tuple(transfers), rate_multiplier)
 
 
-def _find_source(
-    intervals: List[CacheInterval], dst_server: int, t: float
-) -> Optional[int]:
-    """A server (other than ``dst_server``) holding a live copy at ``t``."""
-    for iv in intervals:
-        if iv.server != dst_server and iv.covers(t):
-            return iv.server
-    return None
+def _transfer_sources(
+    intervals: List[CacheInterval],
+    queries: List[Tuple[float, int]],
+) -> List[Optional[int]]:
+    """Source server per ``(t, dst)`` query: the first interval (in list
+    order) live at ``t`` on a server other than ``dst``.
+
+    ``queries`` must be sorted by time.  A single sweep over the
+    intervals ordered by start time feeds a lazy-deletion heap keyed by
+    list position, so each lookup is ``O(log n)`` amortised instead of
+    the old linear scan over every interval (``O(n^2)`` schedule
+    reconstruction worst case).  The returned server matches the linear
+    scan exactly (same list-position priority, same ``covers`` slack).
+    """
+    by_start = sorted(range(len(intervals)), key=lambda p: intervals[p].start)
+    heap: List[int] = []  # live candidate positions (min list position on top)
+    ptr = 0
+    out: List[Optional[int]] = []
+    for t, dst in queries:
+        while ptr < len(by_start) and intervals[by_start[ptr]].start - _EPS <= t:
+            heapq.heappush(heap, by_start[ptr])
+            ptr += 1
+        src: Optional[int] = None
+        stash: List[int] = []
+        while heap:
+            p = heap[0]
+            iv = intervals[p]
+            if iv.end + _EPS < t:  # expired: can never cover a later query
+                heapq.heappop(heap)
+                continue
+            if iv.server != dst:
+                src = iv.server
+                break
+            stash.append(heapq.heappop(heap))  # live but same-server: skip
+        for p in stash:
+            heapq.heappush(heap, p)
+        out.append(src)
+    return out
 
 
 def attribute_cost(
@@ -335,14 +546,19 @@ def optimal_cost(
     model: CostModel,
     *,
     rate_multiplier: float = 1.0,
+    backend: str = "sparse",
 ) -> float:
-    """Cost-only fast path: NumPy-vectorised sweep of the same DP.
+    """Cost-only fast path of the same DP.
 
-    Maintains the cost vector over coverage frontiers ``M`` as a dense
-    array and applies each event's keep/drop transition with prefix-minimum
-    operations, giving ``O(n)`` work per event without Python-level loops
-    over states.
+    ``backend="sparse"`` (default) runs the ``O(n * m)`` per-server
+    sparse-frontier sweep with ``O(m)`` live state; ``backend="dense"``
+    runs the historical NumPy dense cost vector (``O(n)`` work per event,
+    ``O(n^2)`` total), kept as a cross-check reference.  Both produce
+    bit-identical costs: each path's cost is the same left-to-right float
+    sum of the same charges.
     """
+    if backend not in ("sparse", "dense"):
+        raise ValueError(f"unknown DP backend {backend!r}")
     if isinstance(view, RequestSequence):
         view = view.single_item_view()
     servers, times = _event_arrays(view)
@@ -353,6 +569,10 @@ def optimal_cost(
 
     nxt = _next_same_server(servers)
     base_cost = lam * len(_first_on_server_transfers(servers, nxt))
+
+    if backend == "sparse":
+        dp_cost = _sparse_cost_sweep(servers, times, nxt, mu, lam)
+        return (base_cost + dp_cost) * rate_multiplier
 
     t = np.asarray(times)
     INF = np.inf

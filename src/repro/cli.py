@@ -67,6 +67,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
             "with 'run all' the experiment id is appended to the filename"
         ),
     )
+    parser.add_argument(
+        "--similarity",
+        choices=("sparse", "dense"),
+        default="sparse",
+        help=(
+            "Phase-1 similarity-join backend: 'sparse' (default) builds "
+            "co-occurrence from an inverted index and prunes sub-threshold "
+            "pairs; 'dense' is the incidence-matrix cross-check path"
+        ),
+    )
 
 
 def _engine_kwargs(
@@ -75,6 +85,7 @@ def _engine_kwargs(
     memo: bool,
     metrics: bool = False,
     trace: bool = False,
+    similarity: Optional[str] = None,
 ) -> Dict[str, object]:
     """Engine kwargs for harnesses that expose the knobs; {} otherwise."""
     params = inspect.signature(fn).parameters
@@ -85,6 +96,8 @@ def _engine_kwargs(
         out["memo"] = True
     if "metrics" in params and metrics:
         out["metrics"] = True
+    if "similarity" in params and similarity is not None:
+        out["similarity"] = similarity
     # the span-tracing knob is the boolean trace=False kwarg; fig09/fig10
     # use "trace" for the taxi-trace input, so match on the default too
     if (
@@ -196,6 +209,7 @@ def _run_one(
     metrics: bool = False,
     trace_path: Optional[str] = None,
     multi_trace: bool = False,
+    similarity: Optional[str] = None,
 ) -> int:
     fn = ALL_EXPERIMENTS.get(name)
     if fn is None:
@@ -203,7 +217,14 @@ def _run_one(
         return 2
     kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
     kwargs.update(
-        _engine_kwargs(fn, workers, memo, metrics, trace=trace_path is not None)
+        _engine_kwargs(
+            fn,
+            workers,
+            memo,
+            metrics,
+            trace=trace_path is not None,
+            similarity=similarity,
+        )
     )
     result = fn(**kwargs)
     print(result.report())
@@ -251,8 +272,10 @@ def _solve_trace(args: argparse.Namespace) -> int:
         f"{seq.num_servers} servers (origin s{seq.origin})"
     )
 
-    stats = correlation_stats(seq)
-    top = stats.pairs_by_similarity()[:5]
+    stats = correlation_stats(seq, backend=args.similarity)
+    # threshold=0.0 keeps the listing candidate-sized (zero-similarity
+    # pairs are uninformative and, sparsely, O(k^2) to enumerate)
+    top = stats.pairs_by_similarity(threshold=0.0)[:5]
     if top:
         print("top pair similarities: " + ", ".join(
             f"J(d{a},d{b})={j:.3f}" for j, a, b in top
@@ -278,6 +301,7 @@ def _solve_trace(args: argparse.Namespace) -> int:
         model,
         theta=args.theta,
         alpha=args.alpha,
+        similarity=args.similarity,
         workers=args.workers,
         memo=not args.no_memo,
         obs=obs,
@@ -388,6 +412,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             memo=not args.no_memo,
             metrics=args.metrics,
             trace=args.trace_out is not None,
+            similarity=args.similarity,
         )
         print(f"report written to {path}")
         return 0
@@ -402,13 +427,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     _run_one(
                         name, args.out, args.quick, workers, memo, metrics,
                         trace_path, multi_trace=True,
+                        similarity=args.similarity,
                     ),
                 )
                 print()
             return rc
         return _run_one(
             args.experiment, args.out, args.quick, workers, memo, metrics,
-            trace_path,
+            trace_path, similarity=args.similarity,
         )
 
     parser.print_help()

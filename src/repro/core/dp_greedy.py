@@ -46,7 +46,11 @@ from ..cache.model import (
 from ..cache.optimal_dp import attribute_cost, solve_optimal
 from ..cache.schedule import Schedule
 from ..obs.tracing import maybe_span
-from ..correlation.jaccard import CorrelationStats, correlation_stats
+from ..correlation.jaccard import (
+    CorrelationStats,
+    SparseCorrelationStats,
+    correlation_stats,
+)
 from ..correlation.packing import (
     PackingPlan,
     greedy_group_packing,
@@ -115,7 +119,7 @@ class DPGreedyResult:
     """
 
     plan: PackingPlan
-    stats: CorrelationStats
+    stats: "CorrelationStats | SparseCorrelationStats"
     reports: Tuple[GroupReport, ...]
     total_cost: float
     denominator: int
@@ -278,6 +282,7 @@ def serve_package(
     dp_cost: Optional[float] = None,
     dp_attribution: Optional[Tuple[Tuple[float, str, float], ...]] = None,
     attribute: bool = False,
+    co_view: Optional[RequestSequence] = None,
 ) -> GroupReport:
     """Serve one package per Phase 2 of Algorithm 1.
 
@@ -293,7 +298,10 @@ def serve_package(
     ``attribute`` decomposes the co-occurrence DP cost into per-request
     ledger charges at package rate (the single-sided charges are already
     carried by ``modes``); with ``dp_cost`` injection the matching
-    ``dp_attribution`` must be supplied.
+    ``dp_attribution`` must be supplied.  ``co_view`` lets callers that
+    already restricted the sequence to the package's co-occurrence nodes
+    (the execution engine restricts once to fingerprint the sub-problem)
+    skip the second ``restrict_to_items`` scan.
     """
     k = len(package)
     if k < 2:
@@ -302,7 +310,8 @@ def serve_package(
     mu, lam = model.mu, model.lam
     ship_cost = rate * lam  # Observation 2's constant (2*alpha*lam for k=2)
 
-    co_view = seq.restrict_to_items(package, mode="all")
+    if co_view is None:
+        co_view = seq.restrict_to_items(package, mode="all")
     if dp_cost is not None:
         if build_schedule:
             raise ValueError("dp_cost injection is cost-only")
@@ -362,6 +371,7 @@ def solve_dp_greedy(
     alpha: float,
     packing: str = "pairs",
     max_group_size: int = 3,
+    similarity: str = "sparse",
     build_schedules: bool = False,
     plan: Optional[PackingPlan] = None,
     parallel: bool = False,
@@ -383,6 +393,13 @@ def solve_dp_greedy(
         ``"pairs"`` for the paper's Algorithm 1; ``"groups"`` enables the
         multi-item extension of the Remarks (min-linkage groups up to
         ``max_group_size``).
+    similarity:
+        Phase-1 join backend.  ``"sparse"`` (default) builds co-occurrence
+        from an inverted index over the requests and feeds packing only
+        threshold-surviving candidate pairs (``O(sum |D_i|^2)``, catalog-
+        width independent); ``"dense"`` is the historical incidence-matrix
+        BLAS pass kept as a cross-check.  Both produce bit-identical
+        similarities, pair order, plans, and costs.
     plan:
         Optional externally-computed packing plan; when given, Phase 1 is
         skipped and the plan is served as-is (used by the robustness
@@ -424,9 +441,10 @@ def solve_dp_greedy(
     span_mark = tracer.mark() if tracer is not None else 0
 
     with timed("phase1.similarity"), maybe_span(
-        tracer, "phase1.similarity", cat="phase1"
+        tracer, "phase1.similarity", cat="phase1", backend=similarity
     ):
-        stats = correlation_stats(seq)
+        stats = correlation_stats(seq, backend=similarity)
+    ran_join = plan is None
     with timed("phase1.packing"), maybe_span(
         tracer, "phase1.packing", cat="phase1"
     ):
@@ -442,6 +460,10 @@ def solve_dp_greedy(
             plan = greedy_group_packing(stats, theta, max_group_size)
         else:
             raise ValueError(f"unknown packing mode {packing!r}")
+    if observe and ran_join:
+        # pruning statistics of the threshold-aware similarity join
+        obs.counters.absorb(stats.join_counters(theta), prefix="phase1.")
+        obs.counters.set("phase1.similarity_backend", similarity)
 
     engine_stats = None
     memo_obj = None

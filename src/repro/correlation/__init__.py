@@ -2,9 +2,11 @@
 
 from .jaccard import (
     CorrelationStats,
+    SparseCorrelationStats,
     correlation_stats,
     jaccard_similarity,
     pair_similarities,
+    sparse_correlation_stats,
 )
 from .packing import PackingPlan, greedy_group_packing, greedy_pair_packing
 from .streaming import StreamingCorrelation
@@ -16,7 +18,9 @@ from .windowed import (
 
 __all__ = [
     "CorrelationStats",
+    "SparseCorrelationStats",
     "correlation_stats",
+    "sparse_correlation_stats",
     "jaccard_similarity",
     "pair_similarities",
     "PackingPlan",

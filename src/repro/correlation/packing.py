@@ -19,9 +19,13 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-from .jaccard import CorrelationStats
+from .jaccard import CorrelationStats, SparseCorrelationStats
 
 __all__ = ["PackingPlan", "greedy_pair_packing", "greedy_group_packing"]
+
+#: Either statistics backend: both expose the same query API and the same
+#: deterministic ``pairs_by_similarity(threshold=...)`` ordering.
+AnyStats = "CorrelationStats | SparseCorrelationStats"
 
 
 @dataclass(frozen=True)
@@ -59,12 +63,15 @@ class PackingPlan:
         return item in self._package_index
 
 
-def greedy_pair_packing(stats: CorrelationStats, theta: float) -> PackingPlan:
+def greedy_pair_packing(stats: AnyStats, theta: float) -> PackingPlan:
     """Algorithm 1 Phase 1: greedy disjoint pair matching above ``theta``.
 
     Pairs are sorted by descending Jaccard similarity (ties broken on item
     identifiers for determinism, matching the stable sort of line 14) and
-    packed when ``J > theta`` with both items still unflagged.
+    packed when ``J > theta`` with both items still unflagged.  The
+    threshold is pushed into the join (``pairs_by_similarity(threshold=)``)
+    so only candidate pairs are ever materialised; the packing outcome is
+    unchanged because sub-threshold pairs are skipped either way.
     """
     if not 0 <= theta <= 1:
         raise ValueError(f"theta must be in [0, 1], got {theta}")
@@ -72,8 +79,8 @@ def greedy_pair_packing(stats: CorrelationStats, theta: float) -> PackingPlan:
     packages: List[FrozenSet[int]] = []
     similarity: Dict[FrozenSet[int], float] = {}
 
-    for j, d_i, d_j in stats.pairs_by_similarity():
-        if j > theta and not flag[d_i] and not flag[d_j]:
+    for j, d_i, d_j in stats.pairs_by_similarity(threshold=theta):
+        if not flag[d_i] and not flag[d_j]:
             pkg = frozenset((d_i, d_j))
             packages.append(pkg)
             similarity[pkg] = j
@@ -84,7 +91,7 @@ def greedy_pair_packing(stats: CorrelationStats, theta: float) -> PackingPlan:
 
 
 def greedy_group_packing(
-    stats: CorrelationStats, theta: float, max_size: int = 3
+    stats: AnyStats, theta: float, max_size: int = 3
 ) -> PackingPlan:
     """Multi-item extension (paper Remarks): min-linkage greedy grouping.
 
@@ -106,9 +113,9 @@ def greedy_group_packing(
     def sim(a: int, b: int) -> float:
         return stats.similarity(a, b)
 
-    for j, d_i, d_j in stats.pairs_by_similarity():
-        if j <= theta:
-            break
+    # pairs_by_similarity(threshold=theta) yields exactly the prefix the
+    # old `break` at ``j <= theta`` consumed, without the O(k^2) tail
+    for j, d_i, d_j in stats.pairs_by_similarity(threshold=theta):
         gi, gj = group_of.get(d_i), group_of.get(d_j)
         if gi is None and gj is None:
             group_of[d_i] = group_of[d_j] = len(groups)

@@ -241,6 +241,7 @@ def _memo_probe(
             dp_cost=cost,
             dp_attribution=attr,
             attribute=attribute,
+            co_view=co_view,  # the probe already restricted: skip the rescan
         ),
         None,
     )

@@ -74,42 +74,47 @@ class PreScan:
         self.servers = np.asarray(servers, dtype=np.int32)
         self.times = np.asarray(times, dtype=np.float64)
 
-        # pLast rolling pointer array, snapshot per request -> recent[i, :]
-        recent = np.full((n, m), -1, dtype=np.int32)
-        p_last = np.full(m, -1, dtype=np.int32)
-        ll_prev = np.full(n, -1, dtype=np.int32)
-        ll_next = np.full(n, -1, dtype=np.int32)
+        # All structures fall out of two vectorised passes (no per-request
+        # Python loop):
+        #
+        # 1. a stable argsort by server groups each Q_j contiguously in
+        #    time order, so adjacent positions within a group are exactly
+        #    the linked-list neighbours: ll_prev == prev_same (the paper's
+        #    p(i)) and ll_next == next_same come from one pass, and the
+        #    old separate reverse sweep for next_same disappears;
+        # 2. the pLast snapshots (recent[i, :]) are a running maximum:
+        #    recent[i, j] = max index i' < i with servers[i'] == j, i.e.
+        #    a shifted ``np.maximum.accumulate`` over the one-hot hit
+        #    matrix.
+        rows = np.arange(n, dtype=np.int32)
+        prev_same = np.full(n, -1, dtype=np.int32)
+        next_same = np.full(n, -1, dtype=np.int32)
         q_head = np.full(m, -1, dtype=np.int32)
         q_tail = np.full(m, -1, dtype=np.int32)
-
-        for i, s in enumerate(self.servers):
-            recent[i, :] = p_last
-            # append to the doubly linked list Q_s
-            tail = q_tail[s]
-            ll_prev[i] = tail
-            if tail >= 0:
-                ll_next[tail] = i
-            else:
-                q_head[s] = i
-            q_tail[s] = i
-            p_last[s] = i
+        recent = np.full((n, m), -1, dtype=np.int32)
+        if n:
+            order = np.argsort(self.servers, kind="stable")
+            same = self.servers[order[1:]] == self.servers[order[:-1]]
+            prev_same[order[1:][same]] = order[:-1][same]
+            next_same[order[:-1][same]] = order[1:][same]
+            # duplicate fancy indices: last write wins, so reversed order
+            # leaves the *earliest* request per server in q_head
+            q_head[self.servers[::-1]] = rows[::-1]
+            q_tail[self.servers] = rows
+            hits = np.where(
+                self.servers[:, None] == np.arange(m, dtype=np.int32)[None, :],
+                rows[:, None],
+                np.int32(-1),
+            )
+            recent[1:] = np.maximum.accumulate(hits, axis=0)[:-1]
 
         self.recent = recent
-        self._p_last_final = p_last
-        self.ll_prev = ll_prev
-        self.ll_next = ll_next
+        self._p_last_final = q_tail.copy()  # pLast after the full scan
+        self.ll_prev = prev_same.copy()
+        self.ll_next = next_same.copy()
         self.q_head = q_head
         self.q_tail = q_tail
-        self.prev_same = (
-            recent[np.arange(n), self.servers] if n else np.empty(0, np.int32)
-        )
-        # next_same via a reversed sweep
-        next_same = np.full(n, -1, dtype=np.int32)
-        last_seen = np.full(m, -1, dtype=np.int32)
-        for i in range(n - 1, -1, -1):
-            s = self.servers[i]
-            next_same[i] = last_seen[s]
-            last_seen[s] = i
+        self.prev_same = prev_same
         self.next_same = next_same
 
     # ------------------------------------------------------------------

@@ -50,6 +50,7 @@ def run_fig11(
     memo: bool = False,
     metrics: bool = False,
     trace: bool = False,
+    similarity: str = "sparse",
 ) -> ExperimentResult:
     """Sweep the pair Jaccard similarity; report both algorithms' ave_cost.
 
@@ -103,6 +104,7 @@ def run_fig11(
                 model,
                 theta=0.0,
                 alpha=alpha,
+                similarity=similarity,
                 workers=workers,
                 memo=memo_obj,
                 obs=obs,

@@ -50,6 +50,7 @@ def run_fig12(
     memo: bool = False,
     metrics: bool = False,
     trace: bool = False,
+    similarity: str = "sparse",
 ) -> ExperimentResult:
     """Sweep ``rho`` with ``lam + mu = rate_total``; report ave_cost curves.
 
@@ -96,6 +97,7 @@ def run_fig12(
                 model,
                 theta=theta,
                 alpha=alpha,
+                similarity=similarity,
                 workers=workers,
                 memo=memo_obj,
                 obs=obs,

@@ -52,6 +52,7 @@ def run_fig13(
     memo: bool = False,
     metrics: bool = False,
     trace: bool = False,
+    similarity: str = "sparse",
 ) -> ExperimentResult:
     """Sweep (alpha, jaccard); report the three algorithms' ave_cost.
 
@@ -108,6 +109,7 @@ def run_fig13(
                     model,
                     theta=theta,
                     alpha=alpha,
+                    similarity=similarity,
                     workers=workers,
                     memo=memo_obj,
                     obs=obs,

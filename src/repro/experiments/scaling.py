@@ -1,22 +1,27 @@
 """Experiment E9 -- complexity scaling (Section V-B: O(m n^2) / O(m n)).
 
-Measures the wall-clock of the cost-only optimal DP and of the pre-scan
-index construction over growing ``n`` (and two ``m`` values), then fits
-the log-log slope.  The paper's claims translate to a slope of ~2 for the
-service pass in ``n`` and ~1 for the pre-scan; absolute constants are of
-course Python's, not the paper's C solver's.
+Measures the wall-clock of the cost-only optimal DP -- both the default
+``O(n * m)`` sparse-frontier backend and the historical ``O(n^2)`` dense
+sweep -- and of the pre-scan index construction over growing ``n``, then
+fits the log-log slopes.  The paper's Section V-B bounds translate to a
+slope of ~2 for the dense service pass in ``n`` and ~1 for the pre-scan;
+the sparse frontier's slope should track the pre-scan's (linear in ``n``
+at fixed ``m``), which is the headline of the sparse-hot-paths
+optimisation.  Absolute constants are of course Python's, not the
+paper's C solver's.
 
 Timing runs through :func:`repro.obs.bench.time_best_of`, so every
 repeat also accumulates in a :class:`~repro.obs.timers.PhaseTimers`
-(per-size phases ``scaling.dp.n<N>`` / ``scaling.prescan.n<N>``), and
-with ``history=`` the best-of times land in ``BENCH_history.jsonl`` as
-``scaling.dp`` / ``scaling.prescan`` records -- the same trajectory the
-benchmark suite feeds, so scaling runs participate in the perf
-regression gate.
+(per-size phases ``scaling.dp.n<N>`` / ``scaling.dp_dense.n<N>`` /
+``scaling.prescan.n<N>``), and with ``history=`` the best-of times land
+in ``BENCH_history.jsonl`` as ``scaling.dp`` / ``scaling.dp_dense`` /
+``scaling.prescan`` records -- the same trajectory the benchmark suite
+feeds, so scaling runs participate in the perf regression gate.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -43,12 +48,13 @@ def run_scaling(
     repeats: int = 3,
     history: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
-    """Time the DP and pre-scan over growing ``n``; fit log-log slopes.
+    """Time the DP backends and pre-scan over growing ``n``; fit slopes.
 
     ``history`` (a ``BENCH_history.jsonl`` path) appends one record per
-    timed curve -- bench ids ``scaling.dp`` / ``scaling.prescan``,
-    seconds = total best-of time over the sweep, per-size seconds in the
-    counters -- so harness runs are tracked alongside the benchmarks.
+    timed curve -- bench ids ``scaling.dp`` (sparse backend),
+    ``scaling.dp_dense``, ``scaling.prescan``, seconds = total best-of
+    time over the sweep, per-size seconds in the counters -- so harness
+    runs are tracked alongside the benchmarks.
     """
     model = CostModel(mu=1.0, lam=1.0)
     timers = PhaseTimers()
@@ -61,18 +67,33 @@ def run_scaling(
     )
 
     dp_curve = []
+    dense_curve = []
     scan_curve = []
+    largest_cost_sparse = largest_cost_dense = 0.0
     for n in sizes:
         view = random_single_item_view(n, num_servers, seed=seed, horizon=float(n))
         t_dp = time_best_of(
             optimal_cost, view, model,
             repeats=repeats, timers=timers, phase=f"scaling.dp.n{n}",
         )
+        t_dense = time_best_of(
+            partial(optimal_cost, backend="dense"), view, model,
+            repeats=repeats, timers=timers, phase=f"scaling.dp_dense.n{n}",
+        )
         t_scan = time_best_of(
             PreScan, view,
             repeats=repeats, timers=timers, phase=f"scaling.prescan.n{n}",
         )
+        # both backends must agree bit-for-bit at every size
+        largest_cost_sparse = optimal_cost(view, model)
+        largest_cost_dense = optimal_cost(view, model, backend="dense")
+        if largest_cost_sparse != largest_cost_dense:
+            raise AssertionError(
+                f"DP backend mismatch at n={n}: "
+                f"sparse {largest_cost_sparse!r} != dense {largest_cost_dense!r}"
+            )
         dp_curve.append((float(n), t_dp))
+        dense_curve.append((float(n), t_dense))
         scan_curve.append((float(n), t_scan))
         # the timers saw every repeat, so seconds/calls is the mean --
         # reported next to the best-of to expose timing noise
@@ -82,11 +103,13 @@ def run_scaling(
                 "n": n,
                 "dp_seconds": round(t_dp, 6),
                 "dp_seconds_mean": round(dp_mean, 6),
+                "dp_dense_seconds": round(t_dense, 6),
                 "prescan_seconds": round(t_scan, 6),
             }
         )
 
-    result.series["optimal DP (cost only)"] = dp_curve
+    result.series["optimal DP (sparse frontier, cost only)"] = dp_curve
+    result.series["optimal DP (dense sweep, cost only)"] = dense_curve
     result.series["pre-scan build"] = scan_curve
 
     def slope(curve) -> float:
@@ -95,12 +118,19 @@ def run_scaling(
         return float(np.polyfit(xs, ys, 1)[0])
 
     dp_slope = slope(dp_curve)
+    dense_slope = slope(dense_curve)
     scan_slope = slope(scan_curve)
+    largest_speedup = dense_curve[-1][1] / max(dp_curve[-1][1], 1e-12)
     result.params["dp_loglog_slope"] = round(dp_slope, 3)
+    result.params["dp_dense_loglog_slope"] = round(dense_slope, 3)
     result.params["prescan_loglog_slope"] = round(scan_slope, 3)
+    result.params["dp_speedup_at_largest_n"] = round(largest_speedup, 3)
     result.notes.append(
-        f"log-log slopes: DP {dp_slope:.2f} (theory ~2 in n), "
-        f"pre-scan {scan_slope:.2f} (theory ~1 in n at fixed m)"
+        f"log-log slopes: sparse DP {dp_slope:.2f} (theory ~1 in n at fixed m), "
+        f"dense DP {dense_slope:.2f} (theory ~2 in n), "
+        f"pre-scan {scan_slope:.2f} (theory ~1 in n at fixed m); "
+        f"sparse/dense speedup at n={int(dp_curve[-1][0])}: "
+        f"{largest_speedup:.1f}x"
     )
 
     if history is not None:
@@ -110,6 +140,11 @@ def run_scaling(
             "scaling.dp",
             sum(t for _, t in dp_curve),
             {**counters, **{f"n{int(n)}": t for n, t in dp_curve}},
+        )
+        recorder.append(
+            "scaling.dp_dense",
+            sum(t for _, t in dense_curve),
+            {**counters, **{f"n{int(n)}": t for n, t in dense_curve}},
         )
         recorder.append(
             "scaling.prescan",

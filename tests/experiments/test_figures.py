@@ -174,10 +174,13 @@ class TestScaling:
     def test_slopes_reported(self):
         res = run_scaling(sizes=(100, 200, 400), num_servers=10)
         assert "dp_loglog_slope" in res.params
+        assert "dp_dense_loglog_slope" in res.params
         assert "prescan_loglog_slope" in res.params
-        # superlinear DP, near-linear pre-scan
-        assert res.params["dp_loglog_slope"] > 0.8
+        # near-linear sparse DP and pre-scan; superlinear dense reference
+        assert 0.4 < res.params["dp_loglog_slope"] < 2.0
+        assert res.params["dp_dense_loglog_slope"] > 0.8
         assert res.params["prescan_loglog_slope"] < 2.0
+        assert res.params["dp_speedup_at_largest_n"] > 0
 
 
 class TestHarnessMetrics:
