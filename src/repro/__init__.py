@@ -92,14 +92,24 @@ from .correlation import (
     sparse_correlation_stats,
 )
 from .engine import (
+    ChaosError,
     EngineStats,
+    FaultPlan,
     PreScan,
+    ResilienceConfig,
     SolverMemo,
+    chaos_from_env,
     fingerprint_view,
     greedy_service_pass,
     package_service_pass,
     prev_same_server,
     serve_plan,
+)
+from .errors import (
+    PoolBrokenError,
+    ReproError,
+    UnitSolveError,
+    UnitTimeoutError,
 )
 from .obs import (
     CostLedger,
@@ -165,6 +175,15 @@ __all__ = [
     "fingerprint_view",
     "EngineStats",
     "serve_plan",
+    # resilience + chaos
+    "ResilienceConfig",
+    "FaultPlan",
+    "ChaosError",
+    "chaos_from_env",
+    "ReproError",
+    "UnitSolveError",
+    "UnitTimeoutError",
+    "PoolBrokenError",
     # observability
     "CostLedger",
     "LedgerEntry",

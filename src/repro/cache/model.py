@@ -167,6 +167,51 @@ class RequestSequence:
         return tuple(r.server for r in self.requests)
 
     # ------------------------------------------------------------------
+    # integrity audit
+    # ------------------------------------------------------------------
+    def validate(self) -> "RequestSequence":
+        """Re-audit every sequence invariant; raise ``ValueError`` with
+        the offending request's index on the first violation.
+
+        The constructor already enforces these for sequences built the
+        normal way, but corrupt data can still arrive -- deserialised
+        payloads, hand-built tuples mutated after the fact, NaN times
+        smuggled in through numpy scalars.  :func:`solve_dp_greedy`
+        calls this once at entry so such inputs fail fast with a
+        precise, indexed message instead of surfacing as an opaque
+        IndexError or a silently wrong cost deep inside a DP recurrence.
+        Returns ``self`` so call sites can chain.
+        """
+        if self.num_servers <= 0:
+            raise ValueError(f"num_servers must be positive, got {self.num_servers}")
+        if not 0 <= self.origin < self.num_servers:
+            raise ValueError(
+                f"origin server {self.origin} outside [0, {self.num_servers})"
+            )
+        prev = -math.inf
+        for i, r in enumerate(self.requests):
+            where = f"request[{i}] (server {r.server}, t={r.time!r})"
+            if math.isnan(r.time):
+                raise ValueError(f"{where}: time is NaN")
+            if math.isinf(r.time):
+                raise ValueError(f"{where}: time is infinite")
+            if r.time < 0:
+                raise ValueError(f"{where}: time is negative")
+            if r.time <= prev:
+                raise ValueError(
+                    f"{where}: times must be strictly increasing "
+                    f"(previous was {prev!r})"
+                )
+            prev = r.time
+            if not 0 <= r.server < self.num_servers:
+                raise ValueError(
+                    f"{where}: server id outside [0, {self.num_servers})"
+                )
+            if not r.items:
+                raise ValueError(f"{where}: empty item set")
+        return self
+
+    # ------------------------------------------------------------------
     # derived statistics used by Phase 1 of DP_Greedy
     # ------------------------------------------------------------------
     def item_counts(self) -> Dict[int, int]:

@@ -77,6 +77,62 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
             "pairs; 'dense' is the incidence-matrix cross-check path"
         ),
     )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-unit Phase-2 solve deadline; an overdue unit is abandoned "
+            "and re-dispatched (enables the resilient dispatcher)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "re-dispatches per failed/timed-out Phase-2 unit before the "
+            "unit is declared failed (enables the resilient dispatcher; "
+            "its default is 2)"
+        ),
+    )
+    parser.add_argument(
+        "--on-unit-error",
+        choices=("raise", "degrade", "skip"),
+        default=None,
+        help=(
+            "what to do when a Phase-2 unit exhausts its retries: 'raise' "
+            "a UnitSolveError/UnitTimeoutError, 'degrade' to one final "
+            "in-process serial attempt, or 'skip' the unit and count it "
+            "(enables the resilient dispatcher)"
+        ),
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """Build a :class:`ResilienceConfig` when any resilience flag is set.
+
+    Leaving all three flags at their defaults keeps the classic
+    non-resilient dispatch path (returns ``None``).
+    """
+    if (
+        args.unit_timeout is None
+        and args.retries is None
+        and args.on_unit_error is None
+    ):
+        return None
+    from .engine.resilience import ResilienceConfig
+
+    kwargs: Dict[str, object] = {}
+    if args.unit_timeout is not None:
+        kwargs["unit_timeout"] = args.unit_timeout
+    if args.retries is not None:
+        kwargs["retries"] = args.retries
+    if args.on_unit_error is not None:
+        kwargs["on_unit_error"] = args.on_unit_error
+    return ResilienceConfig(**kwargs)
 
 
 def _engine_kwargs(
@@ -86,6 +142,9 @@ def _engine_kwargs(
     metrics: bool = False,
     trace: bool = False,
     similarity: Optional[str] = None,
+    resilience=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> Dict[str, object]:
     """Engine kwargs for harnesses that expose the knobs; {} otherwise."""
     params = inspect.signature(fn).parameters
@@ -98,6 +157,12 @@ def _engine_kwargs(
         out["metrics"] = True
     if "similarity" in params and similarity is not None:
         out["similarity"] = similarity
+    if "resilience" in params and resilience is not None:
+        out["resilience"] = resilience
+    if "checkpoint" in params and checkpoint is not None:
+        out["checkpoint"] = checkpoint
+        if "resume" in params and resume:
+            out["resume"] = True
     # the span-tracing knob is the boolean trace=False kwarg; fig09/fig10
     # use "trace" for the taxi-trace input, so match on the default too
     if (
@@ -136,6 +201,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller workloads for a fast smoke run",
     )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "record each completed sweep point to "
+            "DIR/CHECKPOINT_<experiment>.jsonl as it finishes (crash-safe; "
+            "harnesses without sweep checkpointing ignore it)"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip sweep points already recorded in the checkpoint file "
+            "(implies checkpointing; location defaults to --checkpoint, "
+            "then --out, then 'results')"
+        ),
+    )
     _add_engine_flags(run)
 
     sub.add_parser("demo", help="run the Section V.C running example")
@@ -156,6 +240,16 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--alpha", type=float, default=0.8)
     solve.add_argument("--mu", type=float, default=1.0)
     solve.add_argument("--lam", type=float, default=1.0)
+    solve.add_argument(
+        "--on-trace-error",
+        choices=("raise", "skip"),
+        default="raise",
+        help=(
+            "'raise' (default) aborts on the first malformed trace row; "
+            "'skip' drops and counts bad rows (reported, and surfaced as "
+            "the trace.rows_skipped metrics counter with --metrics)"
+        ),
+    )
     _add_engine_flags(solve)
 
     sched = sub.add_parser(
@@ -210,6 +304,9 @@ def _run_one(
     trace_path: Optional[str] = None,
     multi_trace: bool = False,
     similarity: Optional[str] = None,
+    resilience=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> int:
     fn = ALL_EXPERIMENTS.get(name)
     if fn is None:
@@ -224,6 +321,9 @@ def _run_one(
             metrics,
             trace=trace_path is not None,
             similarity=similarity,
+            resilience=resilience,
+            checkpoint=checkpoint,
+            resume=resume,
         )
     )
     result = fn(**kwargs)
@@ -262,15 +362,24 @@ def _solve_trace(args: argparse.Namespace) -> int:
     from .core.baselines import solve_optimal_nonpacking, solve_package_served
     from .core.dp_greedy import solve_dp_greedy
     from .correlation import correlation_stats
-    from .trace.io import load_sequence
+    from .trace.io import load_sequence_report
     from .viz import format_table
 
-    seq = load_sequence(args.trace)
+    seq, load_report = load_sequence_report(
+        args.trace, on_error=args.on_trace_error
+    )
     model = CostModel(mu=args.mu, lam=args.lam)
     print(
         f"trace: {len(seq)} requests, {len(seq.items)} items, "
         f"{seq.num_servers} servers (origin s{seq.origin})"
     )
+    if load_report.rows_skipped:
+        print(
+            f"trace: skipped {load_report.rows_skipped}/"
+            f"{load_report.rows_total} malformed row(s)"
+        )
+        for line, message in load_report.errors[:5]:
+            print(f"  line {line}: {message}")
 
     stats = correlation_stats(seq, backend=args.similarity)
     # threshold=0.0 keeps the listing candidate-sized (zero-similarity
@@ -290,6 +399,8 @@ def _solve_trace(args: argparse.Namespace) -> int:
         obs = collector.observe(
             trace=args.trace, theta=args.theta, alpha=args.alpha
         )
+        obs.counters.set("trace.rows_total", load_report.rows_total)
+        obs.counters.set("trace.rows_skipped", load_report.rows_skipped)
     tracer = None
     if args.trace_out is not None:
         from .obs.tracing import Tracer
@@ -306,6 +417,7 @@ def _solve_trace(args: argparse.Namespace) -> int:
         memo=not args.no_memo,
         obs=obs,
         tracer=tracer,
+        resilience=_resilience_from_args(args),
     )
     opt = solve_optimal_nonpacking(seq, model)
     pkg = solve_package_served(seq, model, theta=args.theta, alpha=args.alpha)
@@ -316,6 +428,12 @@ def _solve_trace(args: argparse.Namespace) -> int:
             f"engine: {es.pool} pool, {es.workers} worker(s), "
             f"{es.memo_hits}/{es.memo_hits + es.memo_misses} memo hits"
         )
+        if es.retries or es.timeouts or es.pool_fallbacks or es.units_failed:
+            print(
+                f"resilience: {es.retries} retr(y/ies), {es.timeouts} "
+                f"timeout(s), {es.pool_fallbacks} pool fallback(s), "
+                f"{es.units_failed} unit(s) skipped"
+            )
     print()
     print(format_table([
         {"algorithm": "DP_Greedy", "total_cost": dpg.total_cost,
@@ -413,12 +531,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics=args.metrics,
             trace=args.trace_out is not None,
             similarity=args.similarity,
+            resilience=_resilience_from_args(args),
         )
         print(f"report written to {path}")
         return 0
     if args.command == "run":
         workers, memo = args.workers, not args.no_memo
         metrics, trace_path = args.metrics, args.trace_out
+        resilience = _resilience_from_args(args)
+        checkpoint = args.checkpoint
+        if args.resume and checkpoint is None:
+            checkpoint = args.out or "results"
         if args.experiment == "all":
             rc = 0
             for name in ALL_EXPERIMENTS:
@@ -428,6 +551,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         name, args.out, args.quick, workers, memo, metrics,
                         trace_path, multi_trace=True,
                         similarity=args.similarity,
+                        resilience=resilience,
+                        checkpoint=checkpoint, resume=args.resume,
                     ),
                 )
                 print()
@@ -435,6 +560,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_one(
             args.experiment, args.out, args.quick, workers, memo, metrics,
             trace_path, similarity=args.similarity,
+            resilience=resilience,
+            checkpoint=checkpoint, resume=args.resume,
         )
 
     parser.print_help()

@@ -380,6 +380,7 @@ def solve_dp_greedy(
     pool: Optional[str] = None,
     obs: "object | None" = None,
     tracer: "object | None" = None,
+    resilience: "object | bool | None" = None,
 ) -> DPGreedyResult:
     """Run the full two-phase DP_Greedy algorithm on ``seq``.
 
@@ -433,9 +434,23 @@ def solve_dp_greedy(
         aggregates land in the metrics snapshot's ``spans`` section.
         Export with ``tracer.write(path)`` (Chrome trace-event JSON).
         With ``tracer=None`` (default) no spans are recorded.
+    resilience:
+        Opt-in fault tolerance for Phase 2
+        (:class:`~repro.engine.resilience.ResilienceConfig`, or ``True``
+        for the defaults): per-unit timeouts, bounded retry with
+        backoff, pool degradation on broken process pools, an
+        ``on_unit_error`` policy (``raise``/``degrade``/``skip``), and
+        deterministic fault injection via the ``REPRO_CHAOS`` knob or an
+        explicit :class:`~repro.engine.chaos.FaultPlan`.  Implies the
+        execution engine; retry/timeout/fallback counters surface on
+        ``engine_stats`` and (with ``obs=``) as ``engine.*`` metrics
+        counters.
     """
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    # fail fast on corrupt inputs, with request indices in the message,
+    # rather than deep inside a DP recurrence
+    seq.validate()
     observe = obs is not None
     timed = obs.timers.time if observe else _null_timer
     span_mark = tracer.mark() if tracer is not None else 0
@@ -472,6 +487,7 @@ def solve_dp_greedy(
         or workers is not None
         or pool is not None
         or memo not in (None, False)
+        or resilience not in (None, False)
     )
     if use_engine:
         from ..engine.memo import SolverMemo, get_default_memo
@@ -499,6 +515,7 @@ def solve_dp_greedy(
                 pool=pool,
                 attribute=observe,
                 tracer=tracer,
+                resilience=resilience,
             )
     else:
         reports = []

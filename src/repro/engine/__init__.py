@@ -1,9 +1,12 @@
 """Efficient implementation structures of Section V (pre-scan + service
-pass) plus the parallel Phase-2 execution engine and solver memo."""
+pass) plus the parallel Phase-2 execution engine, solver memo, and the
+fault-tolerant dispatch layer (resilience + chaos injection)."""
 
+from .chaos import ChaosError, FaultPlan, chaos_from_env
 from .memo import SolverMemo, fingerprint_view, get_default_memo
 from .parallel import EngineStats, serve_plan
 from .prescan import PreScan
+from .resilience import ResilienceConfig, dispatch_resilient
 from .service import greedy_service_pass, package_service_pass, prev_same_server
 
 __all__ = [
@@ -16,4 +19,9 @@ __all__ = [
     "get_default_memo",
     "EngineStats",
     "serve_plan",
+    "ResilienceConfig",
+    "dispatch_resilient",
+    "FaultPlan",
+    "ChaosError",
+    "chaos_from_env",
 ]

@@ -78,7 +78,13 @@ _UnitSpec = Tuple[str, Union[Tuple[int, ...], int]]
 
 @dataclass(frozen=True)
 class EngineStats:
-    """Observability record of one :func:`serve_plan` call."""
+    """Observability record of one :func:`serve_plan` call.
+
+    The last four counters are produced by the resilient dispatch layer
+    (:mod:`repro.engine.resilience`) and stay zero on the classic path;
+    ``pool`` always records the backend the heuristic *picked* -- pool
+    degradation is visible through ``pool_fallbacks``.
+    """
 
     units: int
     packages: int
@@ -88,6 +94,10 @@ class EngineStats:
     dispatched: int  # units actually sent to the pool (memo misses)
     memo_hits: int
     memo_misses: int
+    retries: int = 0  # unit re-dispatches after failures/timeouts
+    timeouts: int = 0  # per-unit deadline expiries
+    pool_fallbacks: int = 0  # degradation-ladder steps taken
+    units_failed: int = 0  # units dropped under on_unit_error="skip"
 
     @property
     def memo_hit_rate(self) -> float:
@@ -282,6 +292,28 @@ def _resolve_backend(
     return workers, kind
 
 
+def _pool_start_method() -> str:
+    """The multiprocessing start method the process pool uses.
+
+    Prefers ``fork`` (workers inherit the sequence copy-on-write and the
+    tracer's wall anchor byte-for-byte) and falls back to ``spawn``
+    explicitly where fork is unavailable (macOS default, Windows) --
+    never to the ambient platform default, so the choice is testable.
+    The ``REPRO_START_METHOD`` env knob forces a method (tests exercise
+    the spawn path with it on fork platforms).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    override = os.environ.get("REPRO_START_METHOD")
+    if override:
+        if override not in methods:
+            raise ValueError(
+                f"REPRO_START_METHOD={override!r} not available on this "
+                f"platform (have: {methods})"
+            )
+        return override
+    return "fork" if "fork" in methods else "spawn"
+
+
 def _make_executor(
     kind: str,
     workers: int,
@@ -294,8 +326,7 @@ def _make_executor(
 ) -> Executor:
     if kind == "thread":
         return ThreadPoolExecutor(max_workers=workers)
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    ctx = multiprocessing.get_context(_pool_start_method())
     return ProcessPoolExecutor(
         max_workers=workers,
         mp_context=ctx,
@@ -316,6 +347,7 @@ def serve_plan(
     pool: Optional[str] = None,
     attribute: bool = False,
     tracer: Optional[Tracer] = None,
+    resilience: "object | bool | None" = None,
 ) -> Tuple[List[GroupReport], EngineStats]:
     """Serve every unit of ``plan``; return reports in serial order.
 
@@ -345,7 +377,19 @@ def serve_plan(
         solves inside thread workers (distinct ``tid``) and process
         workers (distinct ``pid``; their spans are shipped back with the
         results and merged).  ``None`` leaves the hot path untouched.
+    resilience:
+        Opt-in fault tolerance: a
+        :class:`~repro.engine.resilience.ResilienceConfig` (or ``True``
+        for the defaults) replaces the bare ``Executor.map`` consumption
+        with per-unit futures carrying timeouts, bounded retry with
+        backoff, pool degradation (process → thread → serial on broken
+        pools, re-dispatching only unfinished units), and optional
+        deterministic fault injection.  ``None``/``False`` (default)
+        keeps the classic dispatch path byte-for-byte.
     """
+    from .resilience import ResilienceConfig
+
+    resil = ResilienceConfig.coerce(resilience)
     units = _plan_units(plan)
     n_packages = len(plan.packages)
     use_memo = memo is not None and not build_schedules
@@ -373,7 +417,34 @@ def serve_plan(
     sizes = _unit_sizes(seq, [units[i] for i in pending])
     workers_used, kind = _resolve_backend(workers, sum(sizes), len(pending), pool)
 
-    if kind == "serial":
+    res_counters = None
+    if resil is not None:
+        from .resilience import dispatch_resilient
+
+        with maybe_span(
+            tracer,
+            "engine.dispatch",
+            cat="engine",
+            pool=kind,
+            workers=workers_used,
+            dispatched=len(pending),
+            resilient=True,
+        ):
+            resolved, res_counters = dispatch_resilient(
+                kind=kind,
+                workers=workers_used,
+                seq=seq,
+                model=model,
+                alpha=alpha,
+                build_schedules=build_schedules,
+                attribute=attribute,
+                units={idx: units[idx] for idx in pending},
+                tracer=tracer,
+                config=resil,
+            )
+        for idx, report in resolved.items():
+            reports[idx] = report
+    elif kind == "serial":
         for idx in pending:
             with maybe_span(
                 tracer,
@@ -436,6 +507,8 @@ def serve_plan(
 
     if use_memo:
         for idx in pending:
+            if reports[idx] is None:  # unit skipped by the resilience layer
+                continue
             memo.put(
                 miss_keys[idx],
                 reports[idx].package_cost,
@@ -451,5 +524,9 @@ def serve_plan(
         dispatched=len(pending),
         memo_hits=hits,
         memo_misses=len(pending) if use_memo else 0,
+        retries=res_counters.retries if res_counters else 0,
+        timeouts=res_counters.timeouts if res_counters else 0,
+        pool_fallbacks=res_counters.pool_fallbacks if res_counters else 0,
+        units_failed=res_counters.units_failed if res_counters else 0,
     )
     return [r for r in reports if r is not None], stats

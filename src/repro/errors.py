@@ -1,0 +1,100 @@
+"""Structured error taxonomy of the fault-tolerant execution layer.
+
+Every failure the resilience layer (:mod:`repro.engine.resilience`) can
+surface derives from :class:`ReproError`, so callers can catch the whole
+family with one ``except`` clause while tests and logs still see the
+precise failure kind.  Each subclass carries enough context to act on --
+the serving-unit label, how many attempts were burned, which pool broke
+-- instead of a bare traceback from deep inside a DP recurrence.
+
+The hierarchy::
+
+    ReproError
+    ├── UnitSolveError      one serving unit kept failing after retries
+    │   └── (ChaosError is the usual *cause* under fault injection;
+    │        see repro.engine.chaos)
+    ├── UnitTimeoutError    one serving unit exceeded its per-unit timeout
+    └── PoolBrokenError     a whole executor died (BrokenProcessPool,
+                            worker death, initializer failure) and no
+                            fallback rung was allowed to absorb it
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "UnitSolveError",
+    "UnitTimeoutError",
+    "PoolBrokenError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by this library's
+    fault-tolerant execution layer."""
+
+
+class UnitSolveError(ReproError):
+    """A serving unit's solve failed on every allowed attempt.
+
+    Attributes
+    ----------
+    unit:
+        Human-readable unit label (``"pkg(1,2)"`` / ``"item(7)"``).
+    attempts:
+        Total attempts burned (first try + retries).
+    """
+
+    def __init__(self, unit: str, attempts: int, cause: Optional[BaseException] = None):
+        self.unit = unit
+        self.attempts = attempts
+        detail = f": {cause!r}" if cause is not None else ""
+        super().__init__(
+            f"serving unit {unit} failed after {attempts} attempt(s){detail}"
+        )
+        if cause is not None:
+            self.__cause__ = cause
+
+
+class UnitTimeoutError(ReproError):
+    """A serving unit's solve exceeded the per-unit timeout on every
+    allowed attempt.
+
+    Attributes
+    ----------
+    unit:
+        Human-readable unit label.
+    timeout:
+        The per-unit timeout in seconds.
+    attempts:
+        Total attempts burned (first try + retries).
+    """
+
+    def __init__(self, unit: str, timeout: float, attempts: int):
+        self.unit = unit
+        self.timeout = timeout
+        self.attempts = attempts
+        super().__init__(
+            f"serving unit {unit} timed out after {timeout:g}s "
+            f"on each of {attempts} attempt(s)"
+        )
+
+
+class PoolBrokenError(ReproError):
+    """A whole worker pool died and the degradation ladder was exhausted
+    (or disabled).
+
+    Attributes
+    ----------
+    pool:
+        The pool kind that broke (``"process"`` / ``"thread"``).
+    """
+
+    def __init__(self, pool: str, cause: Optional[BaseException] = None):
+        self.pool = pool
+        detail = f": {cause!r}" if cause is not None else ""
+        super().__init__(f"{pool} pool broke and no fallback remained{detail}")
+        if cause is not None:
+            self.__cause__ = cause

@@ -10,6 +10,7 @@ paper figure exists exactly once.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -18,11 +19,105 @@ from ..viz import ascii_line_plot, format_table, write_csv
 
 __all__ = [
     "ExperimentResult",
+    "SweepCheckpoint",
+    "sweep_checkpoint",
     "sweep_memo",
     "sweep_metrics",
     "sweep_tracer",
     "record_engine_stats",
 ]
+
+CHECKPOINT_SCHEMA = "repro.experiments/checkpoint/v1"
+
+
+class SweepCheckpoint:
+    """Crash-safe per-point checkpointing for sweep harnesses.
+
+    Each completed sweep point appends one JSONL record --
+    ``{"schema", "experiment_id", "point", "payload"}`` -- to
+    ``CHECKPOINT_<experiment_id>.jsonl``, flushed and fsynced so a
+    killed run loses at most the point in flight.  On ``resume=True``
+    existing records are loaded first and :meth:`get` returns the stored
+    payload, letting the harness skip the recompute entirely.
+
+    Loading is tolerant by construction: a truncated final line (the
+    usual artefact of a kill mid-write), a corrupt line, or a record for
+    a different experiment is skipped, never fatal.  Points are keyed by
+    the sorted-JSON encoding of their parameter dict, so key order in
+    the harness does not matter.
+    """
+
+    def __init__(self, path: Union[str, Path], experiment_id: str, *, resume: bool = False):
+        self.path = Path(path)
+        self.experiment_id = experiment_id
+        self._done: Dict[str, dict] = {}
+        self.points_loaded = 0
+        if resume and self.path.exists():
+            for raw in self.path.read_text().splitlines():
+                try:
+                    rec = json.loads(raw)
+                except (json.JSONDecodeError, ValueError):
+                    continue  # truncated/corrupt line from a killed run
+                if not isinstance(rec, dict):
+                    continue
+                if rec.get("schema") != CHECKPOINT_SCHEMA:
+                    continue
+                if rec.get("experiment_id") != experiment_id:
+                    continue
+                point = rec.get("point")
+                if not isinstance(point, dict) or "payload" not in rec:
+                    continue
+                self._done[self.key(point)] = rec["payload"]
+            self.points_loaded = len(self._done)
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")  # fresh run: reset stale checkpoints
+
+    @staticmethod
+    def key(point: Mapping[str, object]) -> str:
+        return json.dumps(dict(point), sort_keys=True)
+
+    def get(self, point: Mapping[str, object]) -> Optional[dict]:
+        """Stored payload for ``point``, or ``None`` if not yet recorded."""
+        return self._done.get(self.key(point))
+
+    def record(self, point: Mapping[str, object], payload: dict) -> None:
+        """Append ``point``'s payload; durable once this returns."""
+        rec = {
+            "schema": CHECKPOINT_SCHEMA,
+            "experiment_id": self.experiment_id,
+            "point": dict(point),
+            "payload": payload,
+        }
+        # no sort_keys: payload rows keep their column order, so a resumed
+        # sweep emits byte-identical CSV artefacts
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(rec) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._done[self.key(point)] = payload
+
+
+def sweep_checkpoint(
+    checkpoint, experiment_id: str, resume: bool = False
+) -> Optional[SweepCheckpoint]:
+    """Resolve a harness ``checkpoint=`` argument.
+
+    ``None``/``False`` disables checkpointing (unless ``resume`` is set,
+    which has nothing to resume from and raises).  A directory maps to
+    ``<dir>/CHECKPOINT_<experiment_id>.jsonl``; a ``.jsonl`` path is
+    used as-is; a :class:`SweepCheckpoint` passes through.
+    """
+    if checkpoint in (None, False):
+        if resume:
+            raise ValueError("resume=True requires a checkpoint location")
+        return None
+    if isinstance(checkpoint, SweepCheckpoint):
+        return checkpoint
+    path = Path(checkpoint)
+    if path.suffix != ".jsonl":
+        path = path / f"CHECKPOINT_{experiment_id}.jsonl"
+    return SweepCheckpoint(path, experiment_id, resume=resume)
 
 
 def sweep_memo(memo: bool):

@@ -24,6 +24,7 @@ from ..trace.workload import correlated_pair_sequence
 from .base import (
     ExperimentResult,
     record_engine_stats,
+    sweep_checkpoint,
     sweep_memo,
     sweep_metrics,
     sweep_tracer,
@@ -51,6 +52,9 @@ def run_fig11(
     metrics: bool = False,
     trace: bool = False,
     similarity: str = "sparse",
+    resilience=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Sweep the pair Jaccard similarity; report both algorithms' ave_cost.
 
@@ -60,12 +64,17 @@ def run_fig11(
     ``metrics`` turns on the ``repro.obs`` cost ledger / phase timers
     per DP_Greedy run and stores the snapshot in ``result.metrics``;
     ``trace`` records the whole sweep as one span timeline and stores
-    the Chrome trace payload in ``result.trace``.
+    the Chrome trace payload in ``result.trace``.  ``resilience``
+    forwards a :class:`~repro.engine.resilience.ResilienceConfig` (or
+    ``True``) to every DP_Greedy solve; ``checkpoint`` (a directory or
+    ``.jsonl`` path) makes each completed similarity point durable, and
+    ``resume=True`` skips points already recorded there.
     """
     model = model or CostModel(mu=3.0, lam=3.0)  # rho = 1 on the lam+mu=6 scale
     memo_obj = sweep_memo(memo)
     collector = sweep_metrics(metrics)
     tracer = sweep_tracer(trace)
+    ckpt = sweep_checkpoint(checkpoint, "fig11", resume)
 
     result = ExperimentResult(
         experiment_id="fig11",
@@ -88,45 +97,54 @@ def run_fig11(
     opt_curve = []
     crossover: Optional[float] = None
     for j_target in jaccards:
-        dpg_vals = []
-        opt_vals = []
-        for r in range(repeats):
-            seq = correlated_pair_sequence(
-                n_requests, num_servers, j_target, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
-            )
-            obs = (
-                collector.observe(jaccard=j_target, repeat=r)
-                if collector
-                else None
-            )
-            dpg = solve_dp_greedy(
-                seq,
-                model,
-                theta=0.0,
-                alpha=alpha,
-                similarity=similarity,
-                workers=workers,
-                memo=memo_obj,
-                obs=obs,
-                tracer=tracer,
-            )
-            opt = solve_optimal_nonpacking(seq, model)
-            dpg_vals.append(dpg.ave_cost)
-            opt_vals.append(opt.ave_cost)
-        dpg_ave = sum(dpg_vals) / len(dpg_vals)
-        opt_ave = sum(opt_vals) / len(opt_vals)
-        dpg_curve.append((j_target, dpg_ave))
-        opt_curve.append((j_target, opt_ave))
-        if crossover is None and dpg_ave <= opt_ave:
-            crossover = j_target
-        result.rows.append(
-            {
+        point = {"jaccard": j_target}
+        cached = ckpt.get(point) if ckpt else None
+        if cached is not None:
+            dpg_ave = cached["dpg_ave"]
+            opt_ave = cached["opt_ave"]
+            row = cached["row"]
+        else:
+            dpg_vals = []
+            opt_vals = []
+            for r in range(repeats):
+                seq = correlated_pair_sequence(
+                    n_requests, num_servers, j_target, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
+                )
+                obs = (
+                    collector.observe(jaccard=j_target, repeat=r)
+                    if collector
+                    else None
+                )
+                dpg = solve_dp_greedy(
+                    seq,
+                    model,
+                    theta=0.0,
+                    alpha=alpha,
+                    similarity=similarity,
+                    workers=workers,
+                    memo=memo_obj,
+                    obs=obs,
+                    tracer=tracer,
+                    resilience=resilience,
+                )
+                opt = solve_optimal_nonpacking(seq, model)
+                dpg_vals.append(dpg.ave_cost)
+                opt_vals.append(opt.ave_cost)
+            dpg_ave = sum(dpg_vals) / len(dpg_vals)
+            opt_ave = sum(opt_vals) / len(opt_vals)
+            row = {
                 "jaccard": j_target,
                 "dp_greedy_ave_cost": round(dpg_ave, 4),
                 "optimal_ave_cost": round(opt_ave, 4),
                 "dpg_wins": int(dpg_ave <= opt_ave),
             }
-        )
+            if ckpt:
+                ckpt.record(point, {"row": row, "dpg_ave": dpg_ave, "opt_ave": opt_ave})
+        dpg_curve.append((j_target, dpg_ave))
+        opt_curve.append((j_target, opt_ave))
+        if crossover is None and dpg_ave <= opt_ave:
+            crossover = j_target
+        result.rows.append(row)
 
     result.series["DP_Greedy"] = dpg_curve
     result.series["Optimal (non-packing)"] = opt_curve
@@ -136,6 +154,10 @@ def run_fig11(
             "(the paper observes ~0.3, motivating theta = 0.3)"
         )
         result.params["crossover_jaccard"] = crossover
+    if ckpt and ckpt.points_loaded:
+        result.notes.append(
+            f"resumed from checkpoint: {ckpt.points_loaded} point(s) reused"
+        )
     record_engine_stats(result, memo_obj, workers)
     if collector:
         result.metrics = collector.snapshot()

@@ -22,6 +22,7 @@ from ..trace.workload import correlated_pair_sequence
 from .base import (
     ExperimentResult,
     record_engine_stats,
+    sweep_checkpoint,
     sweep_memo,
     sweep_metrics,
     sweep_tracer,
@@ -51,6 +52,9 @@ def run_fig12(
     metrics: bool = False,
     trace: bool = False,
     similarity: str = "sparse",
+    resilience=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Sweep ``rho`` with ``lam + mu = rate_total``; report ave_cost curves.
 
@@ -59,10 +63,14 @@ def run_fig12(
     ``repeats`` dimension, not across rho points.  ``metrics`` turns on
     the ``repro.obs`` ledger/timer snapshot per DP_Greedy run; ``trace``
     records the sweep as one span timeline in ``result.trace``.
+    ``resilience`` forwards a fault-tolerance config to every DP_Greedy
+    solve; ``checkpoint``/``resume`` make each completed rho point
+    durable and skip recorded ones on restart.
     """
     memo_obj = sweep_memo(memo)
     collector = sweep_metrics(metrics)
     tracer = sweep_tracer(trace)
+    ckpt = sweep_checkpoint(checkpoint, "fig12", resume)
     result = ExperimentResult(
         experiment_id="fig12",
         title="Fig. 12 -- ave_cost of Optimal vs DP_Greedy under varying rho",
@@ -85,40 +93,49 @@ def run_fig12(
     opt_curve = []
     for rho in rhos:
         model = CostModel.from_rho(rho, total=rate_total)
-        dpg_vals = []
-        opt_vals = []
-        for r in range(repeats):
-            seq = correlated_pair_sequence(
-                n_requests, num_servers, jaccard, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
-            )
-            obs = collector.observe(rho=rho, repeat=r) if collector else None
-            dpg = solve_dp_greedy(
-                seq,
-                model,
-                theta=theta,
-                alpha=alpha,
-                similarity=similarity,
-                workers=workers,
-                memo=memo_obj,
-                obs=obs,
-                tracer=tracer,
-            )
-            opt = solve_optimal_nonpacking(seq, model)
-            dpg_vals.append(dpg.ave_cost)
-            opt_vals.append(opt.ave_cost)
-        dpg_ave = sum(dpg_vals) / len(dpg_vals)
-        opt_ave = sum(opt_vals) / len(opt_vals)
-        dpg_curve.append((rho, dpg_ave))
-        opt_curve.append((rho, opt_ave))
-        result.rows.append(
-            {
+        point = {"rho": rho}
+        cached = ckpt.get(point) if ckpt else None
+        if cached is not None:
+            dpg_ave = cached["dpg_ave"]
+            opt_ave = cached["opt_ave"]
+            row = cached["row"]
+        else:
+            dpg_vals = []
+            opt_vals = []
+            for r in range(repeats):
+                seq = correlated_pair_sequence(
+                    n_requests, num_servers, jaccard, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
+                )
+                obs = collector.observe(rho=rho, repeat=r) if collector else None
+                dpg = solve_dp_greedy(
+                    seq,
+                    model,
+                    theta=theta,
+                    alpha=alpha,
+                    similarity=similarity,
+                    workers=workers,
+                    memo=memo_obj,
+                    obs=obs,
+                    tracer=tracer,
+                    resilience=resilience,
+                )
+                opt = solve_optimal_nonpacking(seq, model)
+                dpg_vals.append(dpg.ave_cost)
+                opt_vals.append(opt.ave_cost)
+            dpg_ave = sum(dpg_vals) / len(dpg_vals)
+            opt_ave = sum(opt_vals) / len(opt_vals)
+            row = {
                 "rho": rho,
                 "mu": round(model.mu, 4),
                 "lam": round(model.lam, 4),
                 "dp_greedy_ave_cost": round(dpg_ave, 4),
                 "optimal_ave_cost": round(opt_ave, 4),
             }
-        )
+            if ckpt:
+                ckpt.record(point, {"row": row, "dpg_ave": dpg_ave, "opt_ave": opt_ave})
+        dpg_curve.append((rho, dpg_ave))
+        opt_curve.append((rho, opt_ave))
+        result.rows.append(row)
 
     result.series["DP_Greedy"] = dpg_curve
     result.series["Optimal (non-packing)"] = opt_curve
@@ -129,6 +146,10 @@ def run_fig12(
         f"DP_Greedy curve peaks at rho = {peak_rho:g} (ave_cost {peak_val:.3f}); "
         "the paper reports a parabola-like shape peaking around rho ~= 2"
     )
+    if ckpt and ckpt.points_loaded:
+        result.notes.append(
+            f"resumed from checkpoint: {ckpt.points_loaded} point(s) reused"
+        )
     record_engine_stats(result, memo_obj, workers)
     if collector:
         result.metrics = collector.snapshot()

@@ -26,6 +26,7 @@ from ..trace.workload import correlated_pair_sequence
 from .base import (
     ExperimentResult,
     record_engine_stats,
+    sweep_checkpoint,
     sweep_memo,
     sweep_metrics,
     sweep_tracer,
@@ -53,6 +54,9 @@ def run_fig13(
     metrics: bool = False,
     trace: bool = False,
     similarity: str = "sparse",
+    resilience=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Sweep (alpha, jaccard); report the three algorithms' ave_cost.
 
@@ -61,12 +65,16 @@ def run_fig13(
     alpha, so the shared memo removes most DP work after the first pass.
     ``metrics`` turns on the ``repro.obs`` ledger/timer snapshot per
     DP_Greedy run; ``trace`` records the sweep as one span timeline in
-    ``result.trace``.
+    ``result.trace``.  ``resilience`` forwards a fault-tolerance config
+    to every DP_Greedy solve; ``checkpoint``/``resume`` make each
+    completed ``(alpha, jaccard)`` point durable and skip recorded ones
+    on restart.
     """
     model = model or CostModel(mu=3.0, lam=3.0)
     memo_obj = sweep_memo(memo)
     collector = sweep_metrics(metrics)
     tracer = sweep_tracer(trace)
+    ckpt = sweep_checkpoint(checkpoint, "fig13", resume)
 
     result = ExperimentResult(
         experiment_id="fig13",
@@ -90,46 +98,58 @@ def run_fig13(
         opt_curve = []
         dpg_curve = []
         for j_target in jaccards:
-            sums = {"pkg": 0.0, "opt": 0.0, "dpg": 0.0}
-            for r in range(repeats):
-                seq = correlated_pair_sequence(
-                    n_requests, num_servers, j_target, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
-                )
-                sums["pkg"] += solve_package_served(
-                    seq, model, theta=0.0, alpha=alpha
-                ).ave_cost
-                sums["opt"] += solve_optimal_nonpacking(seq, model).ave_cost
-                obs = (
-                    collector.observe(alpha=alpha, jaccard=j_target, repeat=r)
-                    if collector
-                    else None
-                )
-                sums["dpg"] += solve_dp_greedy(
-                    seq,
-                    model,
-                    theta=theta,
-                    alpha=alpha,
-                    similarity=similarity,
-                    workers=workers,
-                    memo=memo_obj,
-                    obs=obs,
-                    tracer=tracer,
-                ).ave_cost
-            pkg = sums["pkg"] / repeats
-            opt = sums["opt"] / repeats
-            dpg = sums["dpg"] / repeats
-            pkg_curve.append((j_target, pkg))
-            opt_curve.append((j_target, opt))
-            dpg_curve.append((j_target, dpg))
-            result.rows.append(
-                {
+            point = {"alpha": alpha, "jaccard": j_target}
+            cached = ckpt.get(point) if ckpt else None
+            if cached is not None:
+                pkg = cached["pkg"]
+                opt = cached["opt"]
+                dpg = cached["dpg"]
+                row = cached["row"]
+            else:
+                sums = {"pkg": 0.0, "opt": 0.0, "dpg": 0.0}
+                for r in range(repeats):
+                    seq = correlated_pair_sequence(
+                        n_requests, num_servers, j_target, seed=seed + 1000 * r, hotspot_skew=hotspot_skew
+                    )
+                    sums["pkg"] += solve_package_served(
+                        seq, model, theta=0.0, alpha=alpha
+                    ).ave_cost
+                    sums["opt"] += solve_optimal_nonpacking(seq, model).ave_cost
+                    obs = (
+                        collector.observe(alpha=alpha, jaccard=j_target, repeat=r)
+                        if collector
+                        else None
+                    )
+                    sums["dpg"] += solve_dp_greedy(
+                        seq,
+                        model,
+                        theta=theta,
+                        alpha=alpha,
+                        similarity=similarity,
+                        workers=workers,
+                        memo=memo_obj,
+                        obs=obs,
+                        tracer=tracer,
+                        resilience=resilience,
+                    ).ave_cost
+                pkg = sums["pkg"] / repeats
+                opt = sums["opt"] / repeats
+                dpg = sums["dpg"] / repeats
+                row = {
                     "alpha": alpha,
                     "jaccard": j_target,
                     "package_served": round(pkg, 4),
                     "optimal": round(opt, 4),
                     "dp_greedy": round(dpg, 4),
                 }
-            )
+                if ckpt:
+                    ckpt.record(
+                        point, {"row": row, "pkg": pkg, "opt": opt, "dpg": dpg}
+                    )
+            pkg_curve.append((j_target, pkg))
+            opt_curve.append((j_target, opt))
+            dpg_curve.append((j_target, dpg))
+            result.rows.append(row)
         result.series[f"Package_Served (a={alpha})"] = pkg_curve
         result.series[f"Optimal (a={alpha})"] = opt_curve
         result.series[f"DP_Greedy (a={alpha})"] = dpg_curve
@@ -150,6 +170,10 @@ def run_fig13(
                 f"alpha={alpha}: Package_Served is worst on "
                 f"{worst}/{len(jaccards)} similarity points (paper: worst overall)"
             )
+    if ckpt and ckpt.points_loaded:
+        result.notes.append(
+            f"resumed from checkpoint: {ckpt.points_loaded} point(s) reused"
+        )
     record_engine_stats(result, memo_obj, workers)
     if collector:
         result.metrics = collector.snapshot()

@@ -33,7 +33,7 @@ from ..engine.prescan import PreScan
 from ..obs.bench import BenchHistory, time_best_of
 from ..obs.timers import PhaseTimers
 from ..trace.workload import random_single_item_view
-from .base import ExperimentResult
+from .base import ExperimentResult, sweep_checkpoint
 
 __all__ = ["run_scaling", "DEFAULT_SIZES"]
 
@@ -47,6 +47,8 @@ def run_scaling(
     seed: int = 11,
     repeats: int = 3,
     history: Optional[Union[str, Path]] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Time the DP backends and pre-scan over growing ``n``; fit slopes.
 
@@ -54,10 +56,14 @@ def run_scaling(
     timed curve -- bench ids ``scaling.dp`` (sparse backend),
     ``scaling.dp_dense``, ``scaling.prescan``, seconds = total best-of
     time over the sweep, per-size seconds in the counters -- so harness
-    runs are tracked alongside the benchmarks.
+    runs are tracked alongside the benchmarks.  ``checkpoint``/``resume``
+    make each completed size point durable and skip recorded ones on
+    restart (the large sizes dominate the runtime, so resuming a killed
+    sweep saves almost all of it).
     """
     model = CostModel(mu=1.0, lam=1.0)
     timers = PhaseTimers()
+    ckpt = sweep_checkpoint(checkpoint, "scaling", resume)
     result = ExperimentResult(
         experiment_id="scaling",
         title="Section V-B -- time scaling of the DP service pass and pre-scan",
@@ -71,42 +77,54 @@ def run_scaling(
     scan_curve = []
     largest_cost_sparse = largest_cost_dense = 0.0
     for n in sizes:
-        view = random_single_item_view(n, num_servers, seed=seed, horizon=float(n))
-        t_dp = time_best_of(
-            optimal_cost, view, model,
-            repeats=repeats, timers=timers, phase=f"scaling.dp.n{n}",
-        )
-        t_dense = time_best_of(
-            partial(optimal_cost, backend="dense"), view, model,
-            repeats=repeats, timers=timers, phase=f"scaling.dp_dense.n{n}",
-        )
-        t_scan = time_best_of(
-            PreScan, view,
-            repeats=repeats, timers=timers, phase=f"scaling.prescan.n{n}",
-        )
-        # both backends must agree bit-for-bit at every size
-        largest_cost_sparse = optimal_cost(view, model)
-        largest_cost_dense = optimal_cost(view, model, backend="dense")
-        if largest_cost_sparse != largest_cost_dense:
-            raise AssertionError(
-                f"DP backend mismatch at n={n}: "
-                f"sparse {largest_cost_sparse!r} != dense {largest_cost_dense!r}"
+        point = {"n": n}
+        cached = ckpt.get(point) if ckpt else None
+        if cached is not None:
+            t_dp = cached["t_dp"]
+            t_dense = cached["t_dense"]
+            t_scan = cached["t_scan"]
+            row = cached["row"]
+        else:
+            view = random_single_item_view(n, num_servers, seed=seed, horizon=float(n))
+            t_dp = time_best_of(
+                optimal_cost, view, model,
+                repeats=repeats, timers=timers, phase=f"scaling.dp.n{n}",
             )
-        dp_curve.append((float(n), t_dp))
-        dense_curve.append((float(n), t_dense))
-        scan_curve.append((float(n), t_scan))
-        # the timers saw every repeat, so seconds/calls is the mean --
-        # reported next to the best-of to expose timing noise
-        dp_mean = timers.seconds(f"scaling.dp.n{n}") / repeats
-        result.rows.append(
-            {
+            t_dense = time_best_of(
+                partial(optimal_cost, backend="dense"), view, model,
+                repeats=repeats, timers=timers, phase=f"scaling.dp_dense.n{n}",
+            )
+            t_scan = time_best_of(
+                PreScan, view,
+                repeats=repeats, timers=timers, phase=f"scaling.prescan.n{n}",
+            )
+            # both backends must agree bit-for-bit at every size
+            largest_cost_sparse = optimal_cost(view, model)
+            largest_cost_dense = optimal_cost(view, model, backend="dense")
+            if largest_cost_sparse != largest_cost_dense:
+                raise AssertionError(
+                    f"DP backend mismatch at n={n}: "
+                    f"sparse {largest_cost_sparse!r} != dense {largest_cost_dense!r}"
+                )
+            # the timers saw every repeat, so seconds/calls is the mean --
+            # reported next to the best-of to expose timing noise
+            dp_mean = timers.seconds(f"scaling.dp.n{n}") / repeats
+            row = {
                 "n": n,
                 "dp_seconds": round(t_dp, 6),
                 "dp_seconds_mean": round(dp_mean, 6),
                 "dp_dense_seconds": round(t_dense, 6),
                 "prescan_seconds": round(t_scan, 6),
             }
-        )
+            if ckpt:
+                ckpt.record(
+                    point,
+                    {"row": row, "t_dp": t_dp, "t_dense": t_dense, "t_scan": t_scan},
+                )
+        dp_curve.append((float(n), t_dp))
+        dense_curve.append((float(n), t_dense))
+        scan_curve.append((float(n), t_scan))
+        result.rows.append(row)
 
     result.series["optimal DP (sparse frontier, cost only)"] = dp_curve
     result.series["optimal DP (dense sweep, cost only)"] = dense_curve
@@ -117,6 +135,10 @@ def run_scaling(
         ys = np.log([max(y, 1e-9) for _, y in curve])
         return float(np.polyfit(xs, ys, 1)[0])
 
+    if ckpt and ckpt.points_loaded:
+        result.notes.append(
+            f"resumed from checkpoint: {ckpt.points_loaded} point(s) reused"
+        )
     dp_slope = slope(dp_curve)
     dense_slope = slope(dense_curve)
     scan_slope = slope(scan_curve)

@@ -11,18 +11,61 @@ library, so sequences serialise to/from a dead-simple CSV dialect::
 ``items`` is a ``|``-separated list of integer item ids.  Metadata
 (``num_servers``, ``origin``) rides in a ``# key=value`` comment header
 so a file is self-contained; both can also be overridden at load time.
+
+Real traces are dirty.  By default a malformed row aborts the load
+(``on_error="raise"``), but every loader also accepts
+``on_error="skip"``: bad rows -- unparseable fields, empty item sets,
+out-of-range server ids, timestamps that go backwards -- are dropped
+and *counted*, and the ``*_report`` variants return a
+:class:`LoadReport` carrying ``rows_skipped`` plus the first few
+``(line, message)`` diagnostics, so one corrupt line no longer throws
+away a million good ones.  A wrong *header* still raises in both modes:
+that is the wrong file, not a dirty row.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from ..cache.model import Request, RequestSequence
 
-__all__ = ["sequence_to_csv", "sequence_from_csv", "save_sequence", "load_sequence"]
+__all__ = [
+    "LoadReport",
+    "sequence_to_csv",
+    "sequence_from_csv",
+    "sequence_from_csv_report",
+    "save_sequence",
+    "load_sequence",
+    "load_sequence_report",
+]
+
+#: Diagnostics kept per load; skipping is counted in full regardless.
+MAX_ERRORS_KEPT = 20
+
+
+@dataclass
+class LoadReport:
+    """What a tolerant load saw: row counts plus capped diagnostics.
+
+    ``errors`` holds the first :data:`MAX_ERRORS_KEPT` ``(line_number,
+    message)`` pairs; ``rows_skipped`` always counts every dropped row.
+    The CLI surfaces ``rows_skipped`` as the ``trace.rows_skipped``
+    metrics counter.
+    """
+
+    rows_total: int = 0
+    rows_loaded: int = 0
+    rows_skipped: int = 0
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    def note(self, line: int, message: str) -> None:
+        self.rows_skipped += 1
+        if len(self.errors) < MAX_ERRORS_KEPT:
+            self.errors.append((line, message))
 
 
 def sequence_to_csv(seq: RequestSequence) -> str:
@@ -38,23 +81,37 @@ def sequence_to_csv(seq: RequestSequence) -> str:
     return buf.getvalue()
 
 
-def sequence_from_csv(
+def sequence_from_csv_report(
     text: str,
     *,
     num_servers: Optional[int] = None,
     origin: Optional[int] = None,
-) -> RequestSequence:
+    on_error: str = "raise",
+) -> Tuple[RequestSequence, LoadReport]:
     """Parse CSV text produced by :func:`sequence_to_csv` (or compatible).
 
     Explicit ``num_servers``/``origin`` arguments override the header;
     when neither a header nor an argument provides ``num_servers``, the
     smallest universe covering the observed servers is used.
+
+    ``on_error="raise"`` (default) aborts on the first malformed row;
+    ``on_error="skip"`` drops and counts malformed rows (see
+    :class:`LoadReport`) -- including rows whose server id falls outside
+    the resolved universe and rows whose timestamp does not strictly
+    increase past the last accepted row.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
+    skip = on_error == "skip"
+    report = LoadReport()
     meta = {}
-    rows: List[Tuple[int, float, frozenset]] = []
+    rows: List[Tuple[int, int, float, frozenset]] = []  # (line, server, t, items)
     reader = csv.reader(io.StringIO(text))
     header_seen = False
     for raw in reader:
+        line = reader.line_num
         if not raw:
             continue
         if raw[0].lstrip().startswith("#"):
@@ -66,30 +123,85 @@ def sequence_from_csv(
         if not header_seen:
             expected = [c.strip().lower() for c in raw]
             if expected[:3] != ["server", "time", "items"]:
+                # wrong header = wrong file; never skippable
                 raise ValueError(
                     f"unrecognised CSV header {raw!r}; expected server,time,items"
                 )
             header_seen = True
             continue
+        report.rows_total += 1
         if len(raw) < 3:
+            if skip:
+                report.note(line, f"malformed row {raw!r}")
+                continue
             raise ValueError(f"malformed row {raw!r}")
-        server = int(raw[0])
-        time = float(raw[1])
-        items = frozenset(int(tok) for tok in raw[2].split("|") if tok != "")
+        try:
+            server = int(raw[0])
+            time = float(raw[1])
+            items = frozenset(int(tok) for tok in raw[2].split("|") if tok != "")
+        except ValueError as exc:
+            if skip:
+                report.note(line, f"unparseable row {raw!r}: {exc}")
+                continue
+            raise ValueError(f"unparseable row {raw!r}: {exc}") from exc
         if not items:
+            if skip:
+                report.note(line, f"row at t={time} has no items")
+                continue
             raise ValueError(f"row at t={time} has no items")
-        rows.append((server, time, items))
+        rows.append((line, server, time, items))
 
     if num_servers is None:
         if "num_servers" in meta:
             num_servers = int(meta["num_servers"])
         else:
-            num_servers = max((s for s, _t, _i in rows), default=0) + 1
+            num_servers = max((s for _l, s, _t, _i in rows), default=0) + 1
     if origin is None:
         origin = int(meta.get("origin", 0))
 
-    reqs = tuple(Request(s, t, i) for s, t, i in rows)
-    return RequestSequence(reqs, num_servers=num_servers, origin=origin)
+    reqs: List[Request] = []
+    prev_time: Optional[float] = None
+    for line, server, time, items in rows:
+        if skip:
+            # pre-empt the RequestSequence constructor's per-row checks
+            # so one dirty row is counted, not fatal
+            if not 0 <= server < num_servers:
+                report.note(
+                    line, f"server {server} outside [0, {num_servers})"
+                )
+                continue
+            if prev_time is not None and time <= prev_time:
+                report.note(
+                    line,
+                    f"time {time!r} not increasing past {prev_time!r}",
+                )
+                continue
+            try:
+                req = Request(server, time, items)
+            except ValueError as exc:
+                report.note(line, str(exc))
+                continue
+            reqs.append(req)
+            prev_time = time
+        else:
+            reqs.append(Request(server, time, items))
+    report.rows_loaded = len(reqs)
+    seq = RequestSequence(tuple(reqs), num_servers=num_servers, origin=origin)
+    return seq, report
+
+
+def sequence_from_csv(
+    text: str,
+    *,
+    num_servers: Optional[int] = None,
+    origin: Optional[int] = None,
+    on_error: str = "raise",
+) -> RequestSequence:
+    """:func:`sequence_from_csv_report` without the report (compat API)."""
+    seq, _report = sequence_from_csv_report(
+        text, num_servers=num_servers, origin=origin, on_error=on_error
+    )
+    return seq
 
 
 def save_sequence(path: Union[str, Path], seq: RequestSequence) -> Path:
@@ -105,8 +217,28 @@ def load_sequence(
     *,
     num_servers: Optional[int] = None,
     origin: Optional[int] = None,
+    on_error: str = "raise",
 ) -> RequestSequence:
     """Load a sequence saved by :func:`save_sequence`."""
     return sequence_from_csv(
-        Path(path).read_text(), num_servers=num_servers, origin=origin
+        Path(path).read_text(),
+        num_servers=num_servers,
+        origin=origin,
+        on_error=on_error,
+    )
+
+
+def load_sequence_report(
+    path: Union[str, Path],
+    *,
+    num_servers: Optional[int] = None,
+    origin: Optional[int] = None,
+    on_error: str = "raise",
+) -> Tuple[RequestSequence, LoadReport]:
+    """:func:`load_sequence` returning the :class:`LoadReport` too."""
+    return sequence_from_csv_report(
+        Path(path).read_text(),
+        num_servers=num_servers,
+        origin=origin,
+        on_error=on_error,
     )

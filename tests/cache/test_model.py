@@ -234,3 +234,72 @@ class TestCostModel:
             CostModel.from_rho(0.0)
         with pytest.raises(ValueError):
             CostModel.from_rho(1.0, total=-1.0)
+
+
+class TestSequenceValidate:
+    """validate() re-audits invariants the constructor cannot guard
+    forever -- frozen dataclasses can still be mutated via
+    object.__setattr__, and deserialised payloads arrive pre-built."""
+
+    def _seq(self):
+        return RequestSequence(
+            [(0, 1.0, {1}), (1, 2.0, {1, 2}), (0, 3.0, {2})], num_servers=2
+        )
+
+    def _corrupt(self, seq, idx, **fields):
+        reqs = list(seq.requests)
+        for key, value in fields.items():
+            object.__setattr__(reqs[idx], key, value)
+        object.__setattr__(seq, "requests", tuple(reqs))
+        return seq
+
+    def test_valid_sequence_passes_and_chains(self):
+        seq = self._seq()
+        assert seq.validate() is seq
+
+    def test_empty_sequence_is_valid(self):
+        seq = RequestSequence((), num_servers=1)
+        assert seq.validate() is seq
+
+    def test_nan_time(self):
+        seq = self._corrupt(self._seq(), 1, time=math.nan)
+        with pytest.raises(ValueError, match=r"request\[1\].*NaN"):
+            seq.validate()
+
+    def test_infinite_time(self):
+        seq = self._corrupt(self._seq(), 2, time=math.inf)
+        with pytest.raises(ValueError, match=r"request\[2\].*infinite"):
+            seq.validate()
+
+    def test_negative_time(self):
+        seq = self._corrupt(self._seq(), 0, time=-1.0)
+        with pytest.raises(ValueError, match=r"request\[0\].*negative"):
+            seq.validate()
+
+    def test_non_increasing_times(self):
+        seq = self._corrupt(self._seq(), 1, time=0.5)
+        with pytest.raises(ValueError, match=r"request\[1\].*increasing"):
+            seq.validate()
+
+    def test_out_of_range_server(self):
+        seq = self._corrupt(self._seq(), 1, server=7)
+        with pytest.raises(ValueError, match=r"request\[1\].*server"):
+            seq.validate()
+
+    def test_empty_item_set(self):
+        seq = self._corrupt(self._seq(), 2, items=frozenset())
+        with pytest.raises(ValueError, match=r"request\[2\].*empty item set"):
+            seq.validate()
+
+    def test_bad_origin(self):
+        seq = self._seq()
+        object.__setattr__(seq, "origin", 9)
+        with pytest.raises(ValueError, match="origin"):
+            seq.validate()
+
+    def test_solve_dp_greedy_fails_fast_on_corrupt_input(self, unit_model):
+        from repro.core.dp_greedy import solve_dp_greedy
+
+        seq = self._corrupt(self._seq(), 1, time=math.nan)
+        with pytest.raises(ValueError, match=r"request\[1\]"):
+            solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8)

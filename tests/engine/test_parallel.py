@@ -148,6 +148,84 @@ class TestEngineApi:
         assert s.memo_hit_rate == 0.0
 
 
+class TestExecutorHardening:
+    """_make_executor must behave identically on fork-less platforms and
+    must actually batch process-pool dispatch via ``chunksize``."""
+
+    def test_chunksize_reaches_process_pool_map(self, unit_model, monkeypatch):
+        # regression guard: ex.map(..., chunksize=) silently ignores a
+        # typo'd kwarg only if we never assert it arrives
+        import repro.engine.parallel as parallel
+
+        seen = {}
+
+        class _RecordingExecutor:
+            def map(self, fn, *iterables, **kwargs):
+                seen.update(kwargs)
+                return map(fn, *iterables)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        def fake_make(kind, workers, seq, model, alpha, build_schedules,
+                      attribute, trace=False):
+            # run the worker initializer in-process so _serve_unit_in_worker
+            # finds its globals
+            parallel._init_worker(
+                seq, model, alpha, build_schedules, attribute, trace
+            )
+            return _RecordingExecutor()
+
+        monkeypatch.setattr(parallel, "_make_executor", fake_make)
+        seq = _workload(n=60, items=5)
+        plan = _serial(seq, unit_model).plan
+        serve_plan(seq, plan, unit_model, ALPHA, workers=2, pool="process")
+        assert seen.get("chunksize", 0) >= 1
+
+    def test_start_method_defaults_to_fork_when_available(self, monkeypatch):
+        import multiprocessing
+
+        from repro.engine.parallel import _pool_start_method
+
+        monkeypatch.delenv("REPRO_START_METHOD", raising=False)
+        expected = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        assert _pool_start_method() == expected
+
+    def test_start_method_env_override(self, monkeypatch):
+        from repro.engine.parallel import _pool_start_method
+
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert _pool_start_method() == "spawn"
+
+    def test_start_method_bad_override_rejected(self, monkeypatch):
+        from repro.engine.parallel import _pool_start_method
+
+        monkeypatch.setenv("REPRO_START_METHOD", "osmosis")
+        with pytest.raises(ValueError, match="REPRO_START_METHOD"):
+            _pool_start_method()
+
+    def test_spawn_process_pool_matches_serial(self, unit_model, monkeypatch):
+        # the explicit fork-unavailable path (macOS/Windows default):
+        # spawn workers re-import the module, so everything shipped to
+        # them must be picklable and the result must stay bit-identical
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        seq = _workload(n=60, items=5)
+        plan = _serial(seq, unit_model).plan
+        ref, _ = serve_plan(seq, plan, unit_model, ALPHA, workers=1)
+        got, stats = serve_plan(
+            seq, plan, unit_model, ALPHA, workers=2, pool="process"
+        )
+        assert got == ref
+        assert stats.pool == "process"
+
+
 class TestPoolHeuristic:
     def test_small_workload_stays_serial(self):
         workers, kind = _resolve_backend(None, AUTO_SERIAL_NODES - 1, 8, None)

@@ -1,0 +1,367 @@
+"""The fault-tolerant dispatcher must absorb faults without changing results.
+
+Every test pins the resilient engine's output -- under injected
+crashes, worker kills, delays, timeouts, and corrupted results -- to
+the classic serial solve, bit-for-bit.  Chaos is always pinned
+explicitly (a ``FaultPlan`` or ``chaos=False``) so the suite stays
+deterministic even when CI exports ``REPRO_CHAOS``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.core.dp_greedy import solve_dp_greedy
+from repro.engine.chaos import FaultPlan
+from repro.engine.memo import SolverMemo
+from repro.engine.resilience import ResilienceConfig
+from repro.errors import (
+    PoolBrokenError,
+    ReproError,
+    UnitSolveError,
+    UnitTimeoutError,
+)
+from repro.trace.workload import zipf_item_workload
+
+THETA, ALPHA = 0.2, 0.8
+
+
+def _workload(n=200, servers=12, items=12, seed=5):
+    return zipf_item_workload(n, servers, items, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def seq():
+    return _workload()
+
+
+@pytest.fixture(scope="module")
+def baseline(seq):
+    from repro.cache.model import CostModel
+
+    return solve_dp_greedy(
+        seq, CostModel(mu=1.0, lam=1.0), theta=THETA, alpha=ALPHA, memo=False
+    )
+
+
+def _solve(seq, unit_model, **kw):
+    kw.setdefault("memo", False)
+    return solve_dp_greedy(seq, unit_model, theta=THETA, alpha=ALPHA, **kw)
+
+
+class TestNoChaosEquivalence:
+    """resilience= on, chaos off: a pure pass-through at every pool kind."""
+
+    @pytest.mark.parametrize("pool", ["serial", "thread", "process"])
+    def test_identical_at_every_pool(self, seq, baseline, unit_model, pool):
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=False),
+            workers=2, pool=pool,
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.reports == baseline.reports
+        es = got.engine_stats
+        assert (es.retries, es.timeouts, es.pool_fallbacks, es.units_failed) \
+            == (0, 0, 0, 0)
+
+    def test_resilience_true_uses_defaults(self, seq, baseline, unit_model,
+                                           monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        got = _solve(seq, unit_model, resilience=True, workers=2)
+        assert got.total_cost == baseline.total_cost
+
+
+class TestChaosEquivalence:
+    """Injected faults are absorbed; the answer never changes."""
+
+    @pytest.mark.parametrize("pool", ["serial", "thread", "process"])
+    def test_crashes_at_every_pool(self, seq, baseline, unit_model, pool):
+        plan = FaultPlan(seed=7, crash=0.5)
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan),
+            workers=2, pool=pool,
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.reports == baseline.reports
+
+    def test_acceptance_twenty_pct_crash_process_pool(self, seq, baseline,
+                                                      unit_model):
+        # the issue's acceptance criterion: 20% of unit solves crash
+        # under a process pool; the run completes bit-identically with
+        # nonzero retry counters
+        plan = FaultPlan(seed=20190806, crash=0.2)
+        # the seeded draw must actually hit >= 1 of this workload's units
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan),
+            workers=2, pool="process",
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.reports == baseline.reports
+        assert got.engine_stats.retries > 0
+
+    def test_corrupt_results_are_audited_and_retried(self, seq, baseline,
+                                                     unit_model):
+        plan = FaultPlan(seed=2, corrupt=0.6)
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan),
+            workers=2, pool="process",
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.engine_stats.retries > 0
+
+    def test_delay_with_timeout_retries_to_identical(self, seq, baseline,
+                                                     unit_model):
+        plan = FaultPlan(seed=11, delay=0.6, delay_seconds=0.3)
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan, unit_timeout=0.05),
+            workers=2, pool="thread",
+        )
+        assert got.total_cost == baseline.total_cost
+        es = got.engine_stats
+        assert es.timeouts >= 1
+        assert es.retries >= 1
+
+    def test_memoized_rerun_skips_dispatch_entirely(self, seq, baseline,
+                                                    unit_model):
+        plan = FaultPlan(seed=7, crash=0.5)
+        memo = SolverMemo()
+        cfg = ResilienceConfig(chaos=plan)
+        first = _solve(seq, unit_model, resilience=cfg, workers=2,
+                       pool="thread", memo=memo)
+        second = _solve(seq, unit_model, resilience=cfg, workers=2,
+                        pool="thread", memo=memo)
+        assert first.total_cost == baseline.total_cost
+        assert second.total_cost == baseline.total_cost
+        assert second.engine_stats.dispatched == 0
+        assert second.engine_stats.retries == 0  # nothing dispatched
+
+
+class TestDegradationLadder:
+    def test_worker_kill_degrades_process_to_thread(self, seq, baseline,
+                                                    unit_model):
+        # os._exit in a pool worker -> BrokenProcessPool -> next rung
+        plan = FaultPlan(seed=3, kill=0.4)
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan),
+            workers=2, pool="process",
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.reports == baseline.reports
+        assert got.engine_stats.pool_fallbacks >= 1
+
+    def test_ladder_reaches_serial(self, seq, baseline, unit_model,
+                                   monkeypatch):
+        # break the thread rung too: the ladder must land on serial,
+        # which cannot break, and still produce the exact answer
+        import repro.engine.parallel as parallel
+
+        real_make = parallel._make_executor
+
+        class _DeadExecutor:
+            def submit(self, *a, **k):
+                raise BrokenExecutor("thread rung is down")
+
+            def shutdown(self, *a, **k):
+                pass
+
+        def broken_thread(kind, *args, **kw):
+            if kind == "thread":
+                return _DeadExecutor()
+            return real_make(kind, *args, **kw)
+
+        monkeypatch.setattr(parallel, "_make_executor", broken_thread)
+        plan = FaultPlan(seed=3, kill=0.4)
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan),
+            workers=2, pool="process",
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.engine_stats.pool_fallbacks == 2  # process -> thread -> serial
+
+    def test_degrade_pool_false_raises(self, seq, unit_model):
+        plan = FaultPlan(seed=3, kill=0.4)
+        with pytest.raises(PoolBrokenError, match="process"):
+            _solve(
+                seq, unit_model,
+                resilience=ResilienceConfig(chaos=plan, degrade_pool=False),
+                workers=2, pool="process",
+            )
+
+    def test_workers_one_runs_serial_rung(self, seq, baseline, unit_model):
+        plan = FaultPlan(seed=7, crash=0.5)
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan),
+            workers=1,
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.engine_stats.retries > 0
+
+
+class TestOnUnitError:
+    # attempts=99 means the fault never heals: retries are guaranteed
+    # exhausted, which is exactly what these policies are about
+    PLAN = FaultPlan(seed=7, crash=0.5, attempts=99)
+
+    def test_raise_surfaces_unit_solve_error(self, seq, unit_model):
+        with pytest.raises(UnitSolveError, match="attempt"):
+            _solve(
+                seq, unit_model,
+                resilience=ResilienceConfig(
+                    chaos=self.PLAN, retries=1, on_unit_error="raise"
+                ),
+                workers=2, pool="thread",
+            )
+
+    def test_raise_surfaces_unit_timeout_error(self, seq, unit_model):
+        plan = FaultPlan(seed=11, delay=0.6, delay_seconds=0.5, attempts=99)
+        with pytest.raises(UnitTimeoutError, match="timed out"):
+            _solve(
+                seq, unit_model,
+                resilience=ResilienceConfig(
+                    chaos=plan, retries=1, unit_timeout=0.05,
+                    on_unit_error="raise",
+                ),
+                workers=2, pool="thread",
+            )
+
+    def test_errors_are_repro_errors_with_context(self, seq, unit_model):
+        try:
+            _solve(
+                seq, unit_model,
+                resilience=ResilienceConfig(
+                    chaos=self.PLAN, retries=1, on_unit_error="raise"
+                ),
+                workers=2, pool="thread",
+            )
+        except UnitSolveError as err:
+            assert isinstance(err, ReproError)
+            assert err.unit.startswith(("pkg(", "item("))
+            assert err.attempts == 2  # retries=1 -> two tries
+        else:
+            pytest.fail("expected UnitSolveError")
+
+    def test_skip_drops_units_and_counts_them(self, seq, baseline, unit_model):
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(
+                chaos=self.PLAN, retries=1, on_unit_error="skip"
+            ),
+            workers=2, pool="thread",
+        )
+        es = got.engine_stats
+        assert es.units_failed > 0
+        base_groups = {r.group for r in baseline.reports}
+        got_groups = {r.group for r in got.reports}
+        assert got_groups < base_groups
+        assert len(base_groups - got_groups) == es.units_failed
+        # the surviving groups' reports are untouched
+        by_group = {r.group: r for r in baseline.reports}
+        assert all(r == by_group[r.group] for r in got.reports)
+        assert got.total_cost == sum(r.total for r in got.reports)
+
+    def test_degrade_heals_on_trusted_serial_substrate(self, seq, baseline,
+                                                       unit_model):
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(
+                chaos=self.PLAN, retries=1, on_unit_error="degrade"
+            ),
+            workers=2, pool="thread",
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.reports == baseline.reports
+
+
+class TestConfig:
+    def test_coerce(self):
+        assert ResilienceConfig.coerce(None) is None
+        assert ResilienceConfig.coerce(False) is None
+        assert ResilienceConfig.coerce(True) == ResilienceConfig()
+        cfg = ResilienceConfig(retries=5)
+        assert ResilienceConfig.coerce(cfg) is cfg
+        with pytest.raises(TypeError, match="resilience"):
+            ResilienceConfig.coerce("yes")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unit_timeout"):
+            ResilienceConfig(unit_timeout=0.0)
+        with pytest.raises(ValueError, match="retries"):
+            ResilienceConfig(retries=-1)
+        with pytest.raises(ValueError, match="jitter"):
+            ResilienceConfig(jitter=2.0)
+        with pytest.raises(ValueError, match="on_unit_error"):
+            ResilienceConfig(on_unit_error="panic")
+        with pytest.raises(ValueError, match="ambiguous"):
+            ResilienceConfig(chaos=True)
+        with pytest.raises(TypeError, match="chaos"):
+            ResilienceConfig(chaos="0.5")
+
+    def test_env_chaos_applies_when_unpinned(self, seq, baseline, unit_model,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "seed=7,crash=0.5")
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(),
+            workers=2, pool="thread",
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.engine_stats.retries > 0
+
+    def test_chaos_false_ignores_env(self, seq, baseline, unit_model,
+                                     monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "seed=7,crash=1.0,attempts=99")
+        got = _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=False),
+            workers=2, pool="thread",
+        )
+        assert got.total_cost == baseline.total_cost
+        assert got.engine_stats.retries == 0
+
+
+class TestObservability:
+    def test_counters_reach_metrics(self, seq, unit_model):
+        from repro.obs import MetricsCollector
+
+        collector = MetricsCollector()
+        obs = collector.observe(case="chaos")
+        plan = FaultPlan(seed=7, crash=0.5)
+        _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan),
+            workers=2, pool="thread", obs=obs,
+        )
+        counters = obs.counters.snapshot()
+        assert counters["engine.retries"] > 0
+        assert counters["engine.timeouts"] == 0
+        assert counters["engine.pool_fallbacks"] == 0
+        assert counters["engine.units_failed"] == 0
+
+    def test_retry_spans_recorded(self, seq, unit_model):
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+        plan = FaultPlan(seed=7, crash=0.5)
+        _solve(
+            seq, unit_model,
+            resilience=ResilienceConfig(chaos=plan),
+            workers=2, pool="thread", tracer=tracer,
+        )
+        names = [s.name for s in tracer.records()]
+        assert "engine.retry" in names
+        solve_attempts = [
+            s.args.get("attempt")
+            for s in tracer.records()
+            if s.name == "phase2.solve"
+        ]
+        assert any(a is not None and a > 1 for a in solve_attempts)

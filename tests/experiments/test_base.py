@@ -52,3 +52,136 @@ class TestSave:
         out = res.save(tmp_path)
         assert not (out / "e.csv").exists()
         assert (out / "e.txt").exists()
+
+
+class TestSweepCheckpoint:
+    def _ckpt(self, tmp_path, resume=False):
+        from repro.experiments.base import SweepCheckpoint
+
+        return SweepCheckpoint(
+            tmp_path / "CHECKPOINT_demo.jsonl", "demo", resume=resume
+        )
+
+    def test_record_and_resume_round_trip(self, tmp_path: Path):
+        ckpt = self._ckpt(tmp_path)
+        ckpt.record({"x": 1}, {"row": {"y": 2.0}})
+        ckpt.record({"x": 2}, {"row": {"y": 4.0}})
+        back = self._ckpt(tmp_path, resume=True)
+        assert back.points_loaded == 2
+        assert back.get({"x": 1}) == {"row": {"y": 2.0}}
+        assert back.get({"x": 3}) is None
+
+    def test_key_is_order_insensitive(self, tmp_path: Path):
+        ckpt = self._ckpt(tmp_path)
+        ckpt.record({"a": 1, "b": 2}, {"v": 1})
+        assert ckpt.get({"b": 2, "a": 1}) == {"v": 1}
+
+    def test_fresh_run_resets_stale_checkpoints(self, tmp_path: Path):
+        ckpt = self._ckpt(tmp_path)
+        ckpt.record({"x": 1}, {"v": 1})
+        again = self._ckpt(tmp_path, resume=False)
+        assert again.points_loaded == 0
+        assert again.get({"x": 1}) is None
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path: Path):
+        ckpt = self._ckpt(tmp_path)
+        ckpt.record({"x": 1}, {"v": 1})
+        ckpt.record({"x": 2}, {"v": 2})
+        path = tmp_path / "CHECKPOINT_demo.jsonl"
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])  # kill mid-write
+        back = self._ckpt(tmp_path, resume=True)
+        assert back.points_loaded == 1
+        assert back.get({"x": 1}) == {"v": 1}
+        assert back.get({"x": 2}) is None
+
+    def test_foreign_records_are_skipped(self, tmp_path: Path):
+        path = tmp_path / "CHECKPOINT_demo.jsonl"
+        from repro.experiments.base import SweepCheckpoint
+
+        other = SweepCheckpoint(path, "other_experiment")
+        other.record({"x": 1}, {"v": 1})
+        with open(path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"schema": "something/else", "point": {}}\n')
+        back = SweepCheckpoint(path, "demo", resume=True)
+        assert back.points_loaded == 0
+
+    def test_sweep_checkpoint_helper(self, tmp_path: Path):
+        from repro.experiments.base import SweepCheckpoint, sweep_checkpoint
+
+        assert sweep_checkpoint(None, "demo") is None
+        assert sweep_checkpoint(False, "demo") is None
+        ckpt = sweep_checkpoint(tmp_path, "demo")
+        assert isinstance(ckpt, SweepCheckpoint)
+        assert ckpt.path == tmp_path / "CHECKPOINT_demo.jsonl"
+        explicit = sweep_checkpoint(tmp_path / "custom.jsonl", "demo")
+        assert explicit.path == tmp_path / "custom.jsonl"
+        assert sweep_checkpoint(ckpt, "demo") is ckpt
+
+    def test_resume_without_location_rejected(self):
+        import pytest
+
+        from repro.experiments.base import sweep_checkpoint
+
+        with pytest.raises(ValueError, match="resume"):
+            sweep_checkpoint(None, "demo", resume=True)
+
+
+class TestHarnessResume:
+    """A killed sweep resumed from its checkpoint recomputes only the
+    missing points and lands on the identical result."""
+
+    JACCARDS = (0.2, 0.4, 0.6)
+    KW = dict(n_requests=60, num_servers=8, repeats=1, seed=3)
+
+    def _run(self, monkeypatch, tmp_path, jaccards, resume, counter):
+        import repro.experiments.fig11 as fig11
+        from repro.core.dp_greedy import solve_dp_greedy as real_solve
+
+        def counting_solve(*args, **kwargs):
+            counter[0] += 1
+            return real_solve(*args, **kwargs)
+
+        monkeypatch.setattr(fig11, "solve_dp_greedy", counting_solve)
+        return fig11.run_fig11(
+            jaccards=jaccards, checkpoint=tmp_path, resume=resume, **self.KW
+        )
+
+    def test_resume_recomputes_only_missing_points(
+        self, monkeypatch, tmp_path: Path
+    ):
+        import repro.experiments.fig11 as fig11
+
+        reference = fig11.run_fig11(jaccards=self.JACCARDS, **self.KW)
+
+        counter = [0]
+        partial = self._run(
+            monkeypatch, tmp_path, self.JACCARDS[:2], resume=False,
+            counter=counter,
+        )
+        assert counter[0] == 2  # one solve per point (repeats=1)
+        assert len(partial.rows) == 2
+
+        counter[0] = 0
+        full = self._run(
+            monkeypatch, tmp_path, self.JACCARDS, resume=True, counter=counter
+        )
+        assert counter[0] == 1  # only the third point was recomputed
+        assert full.rows == reference.rows
+        assert full.series == reference.series
+        assert any("resumed" in note for note in full.notes)
+
+    def test_completed_sweep_resumes_for_free(
+        self, monkeypatch, tmp_path: Path
+    ):
+        counter = [0]
+        first = self._run(
+            monkeypatch, tmp_path, self.JACCARDS, resume=False, counter=counter
+        )
+        counter[0] = 0
+        again = self._run(
+            monkeypatch, tmp_path, self.JACCARDS, resume=True, counter=counter
+        )
+        assert counter[0] == 0
+        assert again.rows == first.rows

@@ -130,3 +130,139 @@ class TestMetricsFlag:
         )
         assert snap["aggregate"]["runs"] == 1
         assert snap["aggregate"]["max_reconciliation_error"] <= 1e-9
+
+
+class TestResilienceFlags:
+    def _args(self, argv):
+        return build_parser().parse_args(argv)
+
+    def test_all_defaults_keep_the_classic_path(self):
+        from repro.cli import _resilience_from_args
+
+        args = self._args(["solve", "trace.csv"])
+        assert _resilience_from_args(args) is None
+
+    def test_any_flag_builds_a_config(self):
+        from repro.cli import _resilience_from_args
+
+        args = self._args(
+            ["solve", "trace.csv", "--unit-timeout", "0.5", "--retries",
+             "3", "--on-unit-error", "skip"]
+        )
+        cfg = _resilience_from_args(args)
+        assert cfg.unit_timeout == 0.5
+        assert cfg.retries == 3
+        assert cfg.on_unit_error == "skip"
+
+    def test_partial_flags_inherit_defaults(self):
+        from repro.cli import _resilience_from_args
+
+        cfg = _resilience_from_args(self._args(["run", "all", "--retries", "5"]))
+        assert cfg.retries == 5
+        assert cfg.unit_timeout is None
+        assert cfg.on_unit_error == "raise"
+
+    def test_engine_kwargs_forward_only_supported_knobs(self):
+        from repro.cli import _engine_kwargs
+        from repro.engine.resilience import ResilienceConfig
+
+        cfg = ResilienceConfig(retries=1)
+
+        def modern(resilience=None, checkpoint=None, resume=False):
+            pass
+
+        def legacy(workers=None):
+            pass
+
+        kw = _engine_kwargs(
+            modern, None, False, resilience=cfg, checkpoint="ckpt",
+            resume=True,
+        )
+        assert kw == {"resilience": cfg, "checkpoint": "ckpt", "resume": True}
+        assert _engine_kwargs(legacy, None, False, resilience=cfg) == {}
+
+    def test_resume_only_rides_with_checkpoint(self):
+        from repro.cli import _engine_kwargs
+
+        def harness(checkpoint=None, resume=False):
+            pass
+
+        assert _engine_kwargs(harness, None, False, resume=True) == {}
+
+    def test_solve_with_resilience_flags(self, tmp_path, capsys, monkeypatch):
+        from repro.trace import correlated_pair_sequence, save_sequence
+
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        path = tmp_path / "trace.csv"
+        save_sequence(path, correlated_pair_sequence(40, 5, 0.5, seed=2))
+        assert main(["solve", str(path), "--retries", "1", "--workers",
+                     "2"]) == 0
+        out = capsys.readouterr().out
+        assert "DP_Greedy" in out
+        # a clean run never prints the resilience counter line
+        assert "resilience:" not in out
+
+
+class TestTraceErrorFlag:
+    DIRTY = (
+        "server,time,items\n"
+        "0,0.5,1\n"
+        "1,1.0\n"
+        "0,1.5,1|2\n"
+    )
+
+    def test_skip_mode_reports_dropped_rows(self, tmp_path, capsys):
+        path = tmp_path / "dirty.csv"
+        path.write_text(self.DIRTY)
+        assert main(
+            ["solve", str(path), "--on-trace-error", "skip"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "skipped 1/3 malformed row(s)" in out
+        assert "line 3" in out
+
+    def test_raise_is_the_default(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text(self.DIRTY)
+        with pytest.raises(ValueError, match="malformed"):
+            main(["solve", str(path)])
+
+    def test_skip_counters_land_in_metrics(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "dirty.csv"
+        path.write_text(self.DIRTY)
+        assert main(
+            ["solve", str(path), "--on-trace-error", "skip", "--metrics"]
+        ) == 0
+        snap = json.loads(
+            (tmp_path / "results" / "METRICS_solve.json").read_text()
+        )
+        counters = snap["runs"][0]["counters"]
+        assert counters["trace.rows_total"] == 3
+        assert counters["trace.rows_skipped"] == 1
+
+
+class TestCheckpointFlags:
+    def test_run_writes_checkpoint_and_resumes(self, tmp_path, capsys):
+        out_dir = tmp_path / "res"
+        argv = ["run", "fig11", "--quick", "--out", str(out_dir),
+                "--checkpoint", str(out_dir)]
+        assert main(argv) == 0
+        ckpt = out_dir / "CHECKPOINT_fig11.jsonl"
+        assert ckpt.exists()
+        first = (out_dir / "fig11.csv").read_text()
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+        assert (out_dir / "fig11.csv").read_text() == first
+
+    def test_resume_defaults_checkpoint_to_out(self, tmp_path, capsys):
+        out_dir = tmp_path / "res"
+        assert main(["run", "fig11", "--quick", "--out", str(out_dir)]) == 0
+        assert main(
+            ["run", "fig11", "--quick", "--out", str(out_dir), "--resume"]
+        ) == 0
+        assert (out_dir / "CHECKPOINT_fig11.jsonl").exists()

@@ -8,8 +8,10 @@ import pytest
 
 from repro.trace.io import (
     load_sequence,
+    load_sequence_report,
     save_sequence,
     sequence_from_csv,
+    sequence_from_csv_report,
     sequence_to_csv,
 )
 from repro.trace.workload import correlated_pair_sequence, zipf_item_workload
@@ -76,3 +78,84 @@ class TestParsing:
         text = "server,time,items\n0,0.30000000000000004,1\n"
         seq = sequence_from_csv(text)
         assert seq[0].time == 0.30000000000000004
+
+
+DIRTY = (
+    "# num_servers=3\n"
+    "server,time,items\n"
+    "0,0.5,1\n"
+    "1,1.0\n"             # too few columns
+    "2,1.5,1|2\n"
+    "x,2.0,1\n"           # unparseable server
+    "1,2.5,\n"            # empty item set
+    "9,3.0,2\n"           # server outside the header's universe
+    "0,2.9,1\n"           # fine: increases past the last *accepted* row (t=1.5)
+    "0,4.0,1|2\n"
+)
+
+
+class TestTolerantLoading:
+    def test_skip_mode_drops_and_counts(self):
+        seq, report = sequence_from_csv_report(DIRTY, on_error="skip")
+        # good rows: t=0.5, t=1.5, t=2.9 (2.5/3.0 rows were dropped, so
+        # 2.9 still increases past the last *accepted* time), t=4.0
+        assert [r.time for r in seq] == [0.5, 1.5, 2.9, 4.0]
+        assert report.rows_total == 8
+        assert report.rows_loaded == 4
+        assert report.rows_skipped == 4
+        assert len(report.errors) == 4
+        lines = [line for line, _msg in report.errors]
+        assert lines == sorted(lines)
+        messages = " | ".join(msg for _line, msg in report.errors)
+        assert "malformed" in messages
+        assert "unparseable" in messages
+        assert "no items" in messages
+        assert "outside" in messages
+
+    def test_raise_mode_is_still_the_default(self):
+        with pytest.raises(ValueError, match="malformed"):
+            sequence_from_csv(DIRTY)
+
+    def test_non_increasing_rows_skipped(self):
+        text = "server,time,items\n0,1.0,1\n0,0.5,1\n0,2.0,1\n"
+        seq, report = sequence_from_csv_report(text, on_error="skip")
+        assert [r.time for r in seq] == [1.0, 2.0]
+        assert report.rows_skipped == 1
+        assert "increasing" in report.errors[0][1]
+
+    def test_clean_trace_reports_zero_skips(self):
+        seq = correlated_pair_sequence(20, 4, 0.5, seed=5)
+        back, report = sequence_from_csv_report(
+            sequence_to_csv(seq), on_error="skip"
+        )
+        assert back.requests == seq.requests
+        assert report.rows_skipped == 0
+        assert report.rows_loaded == report.rows_total == len(seq)
+        assert report.errors == []
+
+    def test_bad_header_raises_even_in_skip_mode(self):
+        with pytest.raises(ValueError, match="header"):
+            sequence_from_csv("a,b,c\n1,2,3\n", on_error="skip")
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            sequence_from_csv("server,time,items\n", on_error="ignore")
+
+    def test_error_listing_is_capped_but_counting_is_not(self):
+        from repro.trace.io import MAX_ERRORS_KEPT
+
+        rows = "".join(f"0,{i}.5\n" for i in range(MAX_ERRORS_KEPT + 10))
+        text = "server,time,items\n" + rows
+        _seq, report = sequence_from_csv_report(text, on_error="skip")
+        assert report.rows_skipped == MAX_ERRORS_KEPT + 10
+        assert len(report.errors) == MAX_ERRORS_KEPT
+
+    def test_load_sequence_report_from_file(self, tmp_path: Path):
+        path = tmp_path / "dirty.csv"
+        path.write_text(DIRTY)
+        seq, report = load_sequence_report(path, on_error="skip")
+        assert len(seq) == 4
+        assert report.rows_skipped == 4
+        # and the raise-mode file loader still refuses it
+        with pytest.raises(ValueError):
+            load_sequence(path)
