@@ -1,0 +1,112 @@
+"""Benchmarks of the batched lockstep Phase-2 kernel.
+
+The kernel's contract has two halves: it must return *bit-identical*
+costs to the sparse backend (pinned exhaustively in
+``tests/cache/test_batched_dp.py``), and it must actually amortise the
+per-event interpreter overhead across the batch.  This module pins the
+second half with a hard floor: at ``>= 1000`` units the kernel must beat
+a serial sparse sweep by at least 3x.  The views are array-backed
+(numpy ``servers``/``times``), matching what the engine's columnar
+:meth:`RequestSequence.item_view` projections feed the scheduler.
+
+Both sides are timed in-process with ``time.perf_counter`` (serial
+sweep once -- it is the slow side -- batched kernel best-of-3), so the
+speedup assertion is self-contained; the ``benchmark`` fixture then
+re-measures the batched call so the conftest hook records it into
+``results/BENCH_history.jsonl`` for the regression gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cache.batched_dp import batched_optimal_costs, length_buckets
+from repro.cache.model import CostModel, SingleItemView
+from repro.cache.optimal_dp import optimal_cost
+from repro.trace.workload import random_single_item_view
+
+MODEL = CostModel(mu=1.0, lam=1.0)
+
+#: The acceptance floor: batched kernel vs serial sparse at >= 1k units.
+MIN_SPEEDUP = 3.0
+
+
+def _array_views(count, n_lo, n_hi, m, seed):
+    """Array-backed views (the engine-representative form) of mixed length."""
+    rng = np.random.default_rng(seed)
+    views = []
+    for _ in range(count):
+        n = int(rng.integers(n_lo, n_hi))
+        v = random_single_item_view(
+            n, m, seed=int(rng.integers(0, 2**31)), horizon=float(n)
+        )
+        views.append(
+            SingleItemView(
+                servers=np.asarray(v.servers, dtype=np.int64),
+                times=np.asarray(v.times, dtype=np.float64),
+                num_servers=v.num_servers,
+                origin=v.origin,
+            )
+        )
+    return views
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_batched_speedup_1k_units(benchmark):
+    """>= 3x over serial sparse on 1000 engine-sized units, bit-identical."""
+    views = _array_views(1000, 100, 140, 6, seed=42)
+
+    t0 = time.perf_counter()
+    ref = [optimal_cost(v, MODEL) for v in views]
+    t_sparse = time.perf_counter() - t0
+    t_batched, got = _best_of(lambda: batched_optimal_costs(views, MODEL))
+
+    assert all(got[b] == ref[b] for b in range(len(views)))
+    speedup = t_sparse / t_batched
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched kernel only {speedup:.2f}x over sparse "
+        f"(sparse {t_sparse * 1e3:.0f}ms, batched {t_batched * 1e3:.1f}ms); "
+        f"floor is {MIN_SPEEDUP}x"
+    )
+
+    # recorded measurement for the regression gate
+    benchmark(batched_optimal_costs, views, MODEL)
+
+
+def test_bench_batched_bucketed_dispatch_2k_units(benchmark):
+    """Bucketed wide-spread batch: still >= 3x including bucketing cost."""
+    views = _array_views(2000, 150, 250, 6, seed=7)
+    lengths = {i: len(v.times) for i, v in enumerate(views)}
+
+    def bucketed():
+        out = np.empty(len(views), dtype=np.float64)
+        for bucket in length_buckets(list(lengths), lengths):
+            out[bucket] = batched_optimal_costs(
+                [views[i] for i in bucket], MODEL
+            )
+        return out
+
+    t0 = time.perf_counter()
+    ref = [optimal_cost(v, MODEL) for v in views]
+    t_sparse = time.perf_counter() - t0
+    t_batched, got = _best_of(bucketed)
+
+    assert all(got[b] == ref[b] for b in range(len(views)))
+    speedup = t_sparse / t_batched
+    assert speedup >= MIN_SPEEDUP, (
+        f"bucketed batched dispatch only {speedup:.2f}x over sparse "
+        f"(sparse {t_sparse * 1e3:.0f}ms, batched {t_batched * 1e3:.1f}ms); "
+        f"floor is {MIN_SPEEDUP}x"
+    )
+
+    benchmark(bucketed)

@@ -1,0 +1,279 @@
+"""Batched lockstep Phase-2 kernel: many sparse-frontier DPs at once.
+
+Phase 2 of DP_Greedy solves one independent single-item/package DP per
+serving unit.  The sparse frontier (:mod:`repro.cache.optimal_dp`) made
+each solve ``O(n * m)``, but the work is still interpreted Python: a
+sweep over thousands of units pays the interpreter per event per unit.
+This module stacks ``B`` units of similar event count into padded
+``(n_pad, B)`` arrays and advances *all* their frontiers in lockstep
+with vectorized numpy ops -- one interpreted step per padded event
+position, shared by the whole batch.
+
+State layout (mirroring the scalar sweep's frontier exactly):
+
+* ``base (B,)`` -- the scalar base state ``M = i + 1`` per unit;
+* ``pend_M (m, B)`` int32 -- the pending keep-interval frontier per
+  server slot (the scalar sweep's ``pend`` dict holds at most one
+  entry per server, so a dense per-server slot array represents it
+  losslessly); the sentinel ``n_pad`` marks an inactive slot -- no
+  event index reaches ``n_pad``, so it can never become eligible;
+* ``pend_cost (m, B)`` float64 -- the matching costs, ``+inf`` on
+  inactive slots so they absorb adds and lose every min.
+
+Everything is transposed -- position-major ``(n_pad, B)`` inputs,
+server-major ``(m, B)`` state -- because the sweep touches one
+position row per step and reduces the frontier along the server axis:
+both want the batch as the contiguous inner dimension.
+
+Padding rows past their own event count is handled by masking: a padded
+position has ``next = -1`` and no gap, so neither the event step nor the
+gap step touches the row -- its state is simply carried forward.
+
+Bit-identical costs
+-------------------
+Every row performs exactly the additions and min-reductions of
+:func:`repro.cache.optimal_dp._sparse_cost_sweep`, in the same order, on
+``float64`` -- numpy elementwise ``+``/``*`` and ``minimum`` are the
+same IEEE-754 operations the scalar loop performs -- so the returned
+costs equal the sparse backend's left-to-right float sums *bitwise*.
+The equivalence suite (``tests/cache/test_batched_dp.py``) pins this
+against both the sparse and dense backends.
+
+Bucketing
+---------
+The kernel's wall-clock is ``O(n_pad * B * m)``, so batching units of
+wildly different lengths wastes work on padding.  :func:`length_buckets`
+greedily groups sorted lengths under a max/min ratio bound (default 2x)
+and a batch-size cap, bounding pad waste while keeping batches large;
+:func:`pad_waste` reports the padded-slot fraction actually wasted (the
+engine surfaces it as the ``batched.pad_waste`` counter).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .model import CostModel, SingleItemView
+
+__all__ = [
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_RATIO",
+    "batched_optimal_costs",
+    "length_buckets",
+    "pad_waste",
+]
+
+#: Default cap on units per batch (bounds the (B, m) state footprint).
+DEFAULT_MAX_BATCH = 1024
+
+#: Default bound on max/min event count within one bucket: with ratio 2
+#: no row can be padded past twice its own length, so the padded-slot
+#: fraction stays below one half.
+DEFAULT_MAX_RATIO = 2.0
+
+
+def _view_events(view: SingleItemView) -> tuple:
+    """``(servers, times)`` with the virtual origin event prepended,
+    validating time positivity exactly like the scalar solvers."""
+    servers = np.asarray(view.servers, dtype=np.int64)
+    times = np.asarray(view.times, dtype=np.float64)
+    if len(times) and times[0] <= 0.0:
+        raise ValueError(
+            "single-item solvers require strictly positive request times "
+            "(time 0 is the initial placement instant)"
+        )
+    return servers, times
+
+
+def batched_optimal_costs(
+    views: Sequence[SingleItemView],
+    model: CostModel,
+    rate_multipliers: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Cost-only solve of ``B`` independent single-item instances.
+
+    Returns a ``(B,)`` float64 array whose entries are bit-identical to
+    ``optimal_cost(views[b], model, rate_multiplier=rate_multipliers[b],
+    backend="sparse")``.  ``rate_multipliers`` defaults to all ones;
+    views of any mix of lengths are accepted (shorter rows are masked),
+    but callers should bucket by length (:func:`length_buckets`) to
+    bound pad waste.
+    """
+    B = len(views)
+    if rate_multipliers is not None and len(rate_multipliers) != B:
+        raise ValueError(
+            f"got {len(rate_multipliers)} rate multipliers for {B} views"
+        )
+    if B == 0:
+        return np.zeros(0, dtype=np.float64)
+    mu, lam = model.mu, model.lam
+
+    # -- padded event arrays (origin event at row 0) ---------------------
+    # everything is laid out transposed, (n_pad, B), from the start: the
+    # sweep reads one position-row per step, so position must be the
+    # contiguous-slicing axis.  One concatenate + scatter instead of B
+    # slice-assignments -- the per-view Python work would otherwise
+    # rival the sweep itself.
+    parts = [_view_events(view) for view in views]
+    lens = np.fromiter((len(t) for _, t in parts), dtype=np.int64, count=B)
+    n_events = lens + 1
+    n_pad = int(n_events.max())
+    origins = np.fromiter(
+        (view.origin for view in views), dtype=np.int64, count=B
+    )
+    servers_t = np.full((n_pad, B), -1, dtype=np.int32)
+    times_t = np.zeros((n_pad, B), dtype=np.float64)
+    servers_t[0] = origins
+    total = int(lens.sum())
+    rows = np.arange(B)
+    if total:
+        rows_f = np.repeat(rows, lens)
+        cols_f = np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens) + 1
+        servers_t[cols_f, rows_f] = np.concatenate([s for s, _ in parts])
+        times_t[cols_f, rows_f] = np.concatenate([t for _, t in parts])
+
+    m = max(view.num_servers for view in views)
+    valid_t = np.arange(n_pad)[:, None] < n_events[None, :]
+
+    # -- per-row next-same-server pointers (-1 = none / padding) ---------
+    # one backward pass: last_seen[s, b] = earliest event index > i on
+    # server s of row b; each step is a (B,)-sized gather + scatter
+    nxt_t = np.full((n_pad, B), -1, dtype=np.int32)
+    last_seen = np.full((m, B), -1, dtype=np.int32)
+    for i in range(n_pad - 1, -1, -1):
+        s = np.maximum(servers_t[i], 0)
+        if valid_t[i].all():
+            nxt_t[i] = last_seen[s, rows]
+            last_seen[s, rows] = i
+        else:
+            vb = np.nonzero(valid_t[i])[0]
+            nxt_t[i, vb] = last_seen[s[vb], vb]
+            last_seen[s[vb], vb] = i
+
+    # -- fixed transfers: events with no same-server predecessor ---------
+    # a real event is preceded iff it is some earlier event's successor,
+    # so the per-row count of first-on-server events is lens minus the
+    # per-row successor count
+    preceded_count = (nxt_t >= 0).sum(axis=0)
+    base_transfers = lam * (lens - preceded_count)
+
+    # -- precomputed per-position charges --------------------------------
+    # keep_cost[i, b] = mu * (t_next(i) - t_i); garbage where nxt < 0,
+    # masked out of every use below
+    t_next = times_t[np.maximum(nxt_t, 0), rows[None, :]]
+    keep_cost_t = mu * (t_next - times_t)
+    # the charge an active-but-ineligible pending state pays per event:
+    # keep_cost when keep wins (ties included), else one transfer
+    stay_cost_t = np.where(keep_cost_t <= lam, keep_cost_t, lam)
+    if n_pad > 1:
+        gap_cost_t = mu * (times_t[1:] - times_t[:-1])
+        has_gap_t = np.arange(1, n_pad)[:, None] < n_events[None, :]
+
+    # -- the lockstep sweep (one interpreted step per padded event) ------
+    # frontier state lives as (m, B): the per-step min over a row's
+    # pending slots then reduces along axis 0, whose B-contiguous inner
+    # loop is an order of magnitude faster than the (B, m) axis-1
+    # reduction for small m.  Inactive slots are represented by the
+    # sentinel M = n_pad (no event index can be >= n_pad, so they are
+    # never eligible) with cost +inf, so the sweep needs no separate
+    # active mask: inactive slots lose every min and absorb every add.
+    base = np.zeros(B, dtype=np.float64)
+    pend_M = np.full((m, B), n_pad, dtype=np.int32)
+    pend_cost = np.full((m, B), np.inf, dtype=np.float64)
+    for i in range(n_pad):
+        j = nxt_t[i]
+        has = j >= 0  # rows whose event i has a same-server successor
+        if has.any():
+            # best over {base} U {pending with M <= j} -- computed before
+            # this step's pending-cost updates, like the scalar loop
+            eligible = pend_M <= j[None, :]
+            best = np.minimum(
+                base, np.where(eligible, pend_cost, np.inf).min(axis=0)
+            )
+            # pending-state updates: eligible states pay lam; the rest
+            # pay keep_cost when keep wins (ties included), else lam
+            add = np.where(eligible, lam, stay_cost_t[i][None, :])
+            np.add(pend_cost, add, out=pend_cost, where=has[None, :])
+            np.add(base, lam, out=base, where=has)
+            # open the new keep interval on this event's server slot
+            hb = np.nonzero(has)[0]
+            s_i = servers_t[i, hb]
+            pend_M[s_i, hb] = j[hb]
+            pend_cost[s_i, hb] = best[hb] + keep_cost_t[i, hb]
+        if i + 1 < n_pad:
+            g = has_gap_t[i]  # rows that still have the gap (t_i, t_{i+1})
+            if g.any():
+                uncovered = base + gap_cost_t[i]  # garbage on ~g rows, masked
+                s_next = np.maximum(servers_t[i + 1], 0)
+                rec_c = pend_cost[s_next, rows]
+                merge = g & (pend_M[s_next, rows] == i + 1)
+                np.copyto(
+                    base,
+                    np.where(merge & (rec_c <= uncovered), rec_c, uncovered),
+                    where=g,
+                )
+                mb = np.nonzero(merge)[0]
+                # retire merged slots to the inactive sentinel; the stale
+                # cost is harmless (never eligible, overwritten on reopen)
+                pend_M[s_next[mb], mb] = n_pad
+
+    totals = base_transfers + base
+    if rate_multipliers is not None:
+        totals = totals * np.asarray(rate_multipliers, dtype=np.float64)
+    return totals
+
+
+def length_buckets(
+    ids: Sequence[int],
+    lengths: Dict[int, int],
+    *,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> List[List[int]]:
+    """Partition ``ids`` into batches of similar length.
+
+    Sorts by ``(length, id)`` and cuts a new bucket whenever the next
+    length exceeds ``max_ratio`` times the bucket's minimum or the
+    bucket reaches ``max_batch`` units.  Every id lands in exactly one
+    bucket; bucket order (and order within a bucket) is deterministic.
+    """
+    if max_ratio < 1.0:
+        raise ValueError("max_ratio must be >= 1")
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    order = sorted(ids, key=lambda i: (lengths[i], i))
+    buckets: List[List[int]] = []
+    current: List[int] = []
+    floor = 0
+    for i in order:
+        n = lengths[i]
+        if current and (len(current) >= max_batch or n > max_ratio * max(floor, 1)):
+            buckets.append(current)
+            current = []
+        if not current:
+            floor = n
+        current.append(i)
+    if current:
+        buckets.append(current)
+    return buckets
+
+
+def pad_waste(buckets: Sequence[Sequence[int]], lengths: Dict[int, int]) -> float:
+    """Fraction of padded event slots wasted by the bucketing in [0, 1).
+
+    Each unit occupies ``length + 1`` event slots (the origin event) out
+    of its bucket's padded width; the waste is ``1 - used / padded``
+    over all buckets.  Zero for empty input or perfectly uniform
+    buckets.
+    """
+    padded = 0
+    used = 0
+    for bucket in buckets:
+        if not bucket:
+            continue
+        width = max(lengths[i] for i in bucket) + 1
+        padded += width * len(bucket)
+        used += sum(lengths[i] + 1 for i in bucket)
+    return 1.0 - used / padded if padded else 0.0

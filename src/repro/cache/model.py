@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "Request",
     "RequestSequence",
@@ -42,6 +44,16 @@ DEFAULT_ALPHA = 0.8
 
 #: Correlation threshold used throughout the paper's evaluation (Section VI).
 DEFAULT_THETA = 0.3
+
+# Shared empty projections (read-only, so safe to hand out).
+_EMPTY_INT = np.empty(0, dtype=np.int64)
+_EMPTY_FLOAT = np.empty(0, dtype=np.float64)
+_EMPTY_INT.setflags(write=False)
+_EMPTY_FLOAT.setflags(write=False)
+
+#: Instance-dict keys of the lazily built columnar caches; dropped on
+#: pickling (cheap to rebuild, heavy to ship to pool workers).
+_CACHE_KEYS = ("_cols_cache", "_proj_cache", "_iview_cache", "_gview_cache")
 
 
 @dataclass(frozen=True, slots=True)
@@ -300,13 +312,174 @@ class RequestSequence:
             origin=self.origin,
         )
 
+    # ------------------------------------------------------------------
+    # columnar projections (lazily cached)
+    # ------------------------------------------------------------------
+    #
+    # The whole-sequence (servers, times) columns and the per-item event
+    # projections are materialised once per sequence and handed out as
+    # read-only numpy array views, so every serving unit stops paying a
+    # full Python rescan of ``requests``.  The caches live in the
+    # instance ``__dict__`` (the dataclass is frozen but not slotted)
+    # and are dropped on pickling -- pool workers rebuild them on first
+    # use instead of paying the ship cost.  Concurrent first calls from
+    # pool threads can at worst duplicate the build; the results are
+    # equivalent, so the race is benign.
+
+    def _columnar(self) -> Tuple[np.ndarray, np.ndarray]:
+        cached = self.__dict__.get("_cols_cache")
+        if cached is None:
+            n = len(self.requests)
+            servers = np.fromiter(
+                (r.server for r in self.requests), dtype=np.int64, count=n
+            )
+            times = np.fromiter(
+                (r.time for r in self.requests), dtype=np.float64, count=n
+            )
+            servers.setflags(write=False)
+            times.setflags(write=False)
+            cached = (servers, times)
+            object.__setattr__(self, "_cols_cache", cached)
+        return cached
+
+    @property
+    def servers_array(self) -> np.ndarray:
+        """Whole-sequence server ids as a read-only ``int64`` column."""
+        return self._columnar()[0]
+
+    @property
+    def times_array(self) -> np.ndarray:
+        """Whole-sequence timestamps as a read-only ``float64`` column."""
+        return self._columnar()[1]
+
+    def _item_projections(self) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """``item -> (positions, servers, times)``: one pass over the
+        requests gathers every per-item projection; each entry is a
+        zero-copy slice of the three concatenated arrays."""
+        proj = self.__dict__.get("_proj_cache")
+        if proj is None:
+            servers, times = self._columnar()
+            positions: Dict[int, List[int]] = {}
+            for i, r in enumerate(self.requests):
+                for d in r.items:
+                    positions.setdefault(d, []).append(i)
+            proj = {}
+            if positions:
+                order = sorted(positions)
+                total = sum(len(positions[d]) for d in order)
+                flat = np.fromiter(
+                    (i for d in order for i in positions[d]),
+                    dtype=np.int64,
+                    count=total,
+                )
+                proj_servers = servers[flat]
+                proj_times = times[flat]
+                for arr in (flat, proj_servers, proj_times):
+                    arr.setflags(write=False)
+                offset = 0
+                for d in order:
+                    end = offset + len(positions[d])
+                    proj[d] = (
+                        flat[offset:end],
+                        proj_servers[offset:end],
+                        proj_times[offset:end],
+                    )
+                    offset = end
+            object.__setattr__(self, "_proj_cache", proj)
+        return proj
+
+    def item_indices(self, item: int) -> np.ndarray:
+        """Ascending request positions whose item set contains ``item``."""
+        entry = self._item_projections().get(item)
+        return _EMPTY_INT if entry is None else entry[0]
+
+    def item_event_counts(self) -> Dict[int, int]:
+        """:meth:`item_counts` served from the cached projections."""
+        return {d: len(e[0]) for d, e in self._item_projections().items()}
+
+    def item_view(self, item: int) -> SingleItemView:
+        """Cached columnar per-item view: the ``(servers, times)``
+        trajectory of :meth:`restrict_to_item` without the per-call
+        tuple rebuild (array-backed, built at most once per item)."""
+        cache = self.__dict__.get("_iview_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_iview_cache", cache)
+        view = cache.get(item)
+        if view is None:
+            entry = self._item_projections().get(item)
+            if entry is None:
+                servers, times = _EMPTY_INT, _EMPTY_FLOAT
+            else:
+                _, servers, times = entry
+            view = SingleItemView(
+                servers=servers,
+                times=times,
+                num_servers=self.num_servers,
+                origin=self.origin,
+            )
+            cache[item] = view
+        return view
+
+    def group_view(self, items: Iterable[int]) -> SingleItemView:
+        """Cached co-occurrence view of an item group: the trajectory of
+        ``restrict_to_items(mode="all")`` (requests containing *every*
+        item), computed by intersecting the per-item position arrays."""
+        group = frozenset(items)
+        if not group:
+            raise ValueError("item group must be non-empty")
+        if len(group) == 1:
+            return self.item_view(next(iter(group)))
+        cache = self.__dict__.get("_gview_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_gview_cache", cache)
+        view = cache.get(group)
+        if view is None:
+            members = sorted(group)
+            idx = self.item_indices(members[0])
+            for d in members[1:]:
+                if not len(idx):
+                    break
+                idx = np.intersect1d(idx, self.item_indices(d), assume_unique=True)
+            servers, times = self._columnar()
+            g_servers = servers[idx]
+            g_times = times[idx]
+            g_servers.setflags(write=False)
+            g_times.setflags(write=False)
+            view = SingleItemView(
+                servers=g_servers,
+                times=g_times,
+                num_servers=self.num_servers,
+                origin=self.origin,
+            )
+            cache[group] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # pickling: ship the model, not the derived caches
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        return {k: v for k, v in self.__dict__.items() if k not in _CACHE_KEYS}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
 
 @dataclass(frozen=True, slots=True)
 class SingleItemView:
-    """The bare ``(servers, times)`` arrays consumed by single-item solvers."""
+    """The bare ``(servers, times)`` arrays consumed by single-item solvers.
 
-    servers: Tuple[int, ...]
-    times: Tuple[float, ...]
+    ``servers``/``times`` are either plain tuples (hand-built views) or
+    read-only numpy columns (``int64``/``float64``) handed out by the
+    cached :meth:`RequestSequence.item_view` / ``group_view``
+    projections.  Both spellings fingerprint to identical memo keys
+    (:func:`repro.engine.memo.fingerprint_view` normalises through
+    ``np.asarray``); array-backed views are not hashable.
+    """
+
+    servers: "Tuple[int, ...] | np.ndarray"
+    times: "Tuple[float, ...] | np.ndarray"
     num_servers: int
     origin: int
 

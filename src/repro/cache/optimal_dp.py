@@ -100,14 +100,26 @@ class OptimalResult:
 
 
 def _event_arrays(view: SingleItemView) -> Tuple[List[int], List[float]]:
-    """Prepend the virtual origin event; validate positivity of times."""
-    if len(view.times) and view.times[0] <= 0.0:
+    """Prepend the virtual origin event; validate positivity of times.
+
+    Array-backed views (the cached columnar projections of
+    :class:`~repro.cache.model.RequestSequence`) are unpacked through
+    ``tolist()`` so the scalar sweeps keep operating on plain Python
+    ints/floats -- same values bitwise, no numpy scalars leaking into
+    solver outputs.
+    """
+    view_servers, view_times = view.servers, view.times
+    if isinstance(view_servers, np.ndarray):
+        view_servers = view_servers.tolist()
+    if isinstance(view_times, np.ndarray):
+        view_times = view_times.tolist()
+    if len(view_times) and view_times[0] <= 0.0:
         raise ValueError(
             "single-item solvers require strictly positive request times "
             "(time 0 is the initial placement instant)"
         )
-    servers = [view.origin, *view.servers]
-    times = [0.0, *view.times]
+    servers = [view.origin, *view_servers]
+    times = [0.0, *view_times]
     return servers, times
 
 
@@ -287,10 +299,14 @@ def solve_optimal(
     backend:
         ``"sparse"`` (default) runs the ``O(n * m)`` per-server sparse
         frontier; ``"dense"`` runs the historical ``O(n^2)`` dict sweep
-        kept as a cross-check reference.  Costs agree bit-for-bit; on
-        exact cost ties the chosen (equally optimal) path may differ.
+        kept as a cross-check reference; ``"batched"`` prices the view
+        through the lockstep kernel (:mod:`repro.cache.batched_dp`) at
+        batch size 1, taking the decision path from the sparse history
+        (the kernel is cost-only).  Costs agree bit-for-bit across all
+        three; on exact cost ties the chosen (equally optimal) path may
+        differ between sparse/batched and dense.
     """
-    if backend not in ("sparse", "dense"):
+    if backend not in ("sparse", "dense", "batched"):
         raise ValueError(f"unknown DP backend {backend!r}")
     if isinstance(view, RequestSequence):
         view = view.single_item_view()
@@ -322,6 +338,15 @@ def solve_optimal(
             M = pM
 
     total = (base_cost + dp_cost) * rate_multiplier
+    if backend == "batched":
+        from .batched_dp import batched_optimal_costs
+
+        total = float(
+            batched_optimal_costs([view], model, [rate_multiplier])[0]
+        )
+        # the kernel mirrors the sparse sweep's float ops exactly, so a
+        # mismatch here is a kernel bug, never rounding
+        assert total == (base_cost + dp_cost) * rate_multiplier
     if not build_schedule:
         return OptimalResult(total, None, tuple(decisions), tuple(sorted(backbone)))
 
@@ -553,14 +578,21 @@ def optimal_cost(
     ``backend="sparse"`` (default) runs the ``O(n * m)`` per-server
     sparse-frontier sweep with ``O(m)`` live state; ``backend="dense"``
     runs the historical NumPy dense cost vector (``O(n)`` work per event,
-    ``O(n^2)`` total), kept as a cross-check reference.  Both produce
-    bit-identical costs: each path's cost is the same left-to-right float
-    sum of the same charges.
+    ``O(n^2)`` total), kept as a cross-check reference;
+    ``backend="batched"`` runs the vectorized lockstep kernel
+    (:mod:`repro.cache.batched_dp`) at batch size 1 -- its payoff is
+    many-view batches, exposed here for backend parity.  All three
+    produce bit-identical costs: each path's cost is the same
+    left-to-right float sum of the same charges.
     """
-    if backend not in ("sparse", "dense"):
+    if backend not in ("sparse", "dense", "batched"):
         raise ValueError(f"unknown DP backend {backend!r}")
     if isinstance(view, RequestSequence):
         view = view.single_item_view()
+    if backend == "batched":
+        from .batched_dp import batched_optimal_costs
+
+        return float(batched_optimal_costs([view], model, [rate_multiplier])[0])
     servers, times = _event_arrays(view)
     n = len(times) - 1
     if n == 0:

@@ -78,6 +78,17 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--dp-backend",
+        choices=("sparse", "dense", "batched"),
+        default="sparse",
+        help=(
+            "Phase-2 single-item DP backend: 'sparse' (default) is the "
+            "O(n*m) frontier sweep, 'dense' the O(n^2*m) cross-check "
+            "table, 'batched' the lockstep numpy kernel that solves "
+            "whole length-buckets of units at once (bit-identical costs)"
+        ),
+    )
+    parser.add_argument(
         "--unit-timeout",
         type=float,
         default=None,
@@ -145,6 +156,7 @@ def _engine_kwargs(
     resilience=None,
     checkpoint=None,
     resume: bool = False,
+    dp_backend: Optional[str] = None,
 ) -> Dict[str, object]:
     """Engine kwargs for harnesses that expose the knobs; {} otherwise."""
     params = inspect.signature(fn).parameters
@@ -157,6 +169,8 @@ def _engine_kwargs(
         out["metrics"] = True
     if "similarity" in params and similarity is not None:
         out["similarity"] = similarity
+    if "dp_backend" in params and dp_backend is not None and dp_backend != "sparse":
+        out["dp_backend"] = dp_backend
     if "resilience" in params and resilience is not None:
         out["resilience"] = resilience
     if "checkpoint" in params and checkpoint is not None:
@@ -307,6 +321,7 @@ def _run_one(
     resilience=None,
     checkpoint=None,
     resume: bool = False,
+    dp_backend: Optional[str] = None,
 ) -> int:
     fn = ALL_EXPERIMENTS.get(name)
     if fn is None:
@@ -324,6 +339,7 @@ def _run_one(
             resilience=resilience,
             checkpoint=checkpoint,
             resume=resume,
+            dp_backend=dp_backend,
         )
     )
     result = fn(**kwargs)
@@ -413,6 +429,7 @@ def _solve_trace(args: argparse.Namespace) -> int:
         theta=args.theta,
         alpha=args.alpha,
         similarity=args.similarity,
+        dp_backend=args.dp_backend,
         workers=args.workers,
         memo=not args.no_memo,
         obs=obs,
@@ -428,6 +445,11 @@ def _solve_trace(args: argparse.Namespace) -> int:
             f"engine: {es.pool} pool, {es.workers} worker(s), "
             f"{es.memo_hits}/{es.memo_hits + es.memo_misses} memo hits"
         )
+        if es.batches:
+            print(
+                f"batched: {es.batches} bucket(s), "
+                f"pad waste {es.pad_waste:.1%}"
+            )
         if es.retries or es.timeouts or es.pool_fallbacks or es.units_failed:
             print(
                 f"resilience: {es.retries} retr(y/ies), {es.timeouts} "
@@ -532,6 +554,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace=args.trace_out is not None,
             similarity=args.similarity,
             resilience=_resilience_from_args(args),
+            dp_backend=args.dp_backend,
         )
         print(f"report written to {path}")
         return 0
@@ -553,6 +576,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         similarity=args.similarity,
                         resilience=resilience,
                         checkpoint=checkpoint, resume=args.resume,
+                        dp_backend=args.dp_backend,
                     ),
                 )
                 print()
@@ -562,6 +586,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_path, similarity=args.similarity,
             resilience=resilience,
             checkpoint=checkpoint, resume=args.resume,
+            dp_backend=args.dp_backend,
         )
 
     parser.print_help()

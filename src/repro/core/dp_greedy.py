@@ -156,24 +156,28 @@ def serve_singleton(
     model: CostModel,
     *,
     build_schedule: bool = False,
-    sub: Optional[RequestSequence] = None,
+    sub: "RequestSequence | SingleItemView | None" = None,
     dp_cost: Optional[float] = None,
     dp_attribution: Optional[Tuple[Tuple[float, str, float], ...]] = None,
     attribute: bool = False,
+    dp_backend: str = "sparse",
 ) -> GroupReport:
     """Serve one unpacked item with the optimal off-line algorithm.
 
-    ``sub`` lets callers that already restricted the sequence (e.g. the
-    execution engine, which restricts once to fingerprint the
-    sub-problem) skip the second scan; ``dp_cost`` injects a memoised
-    solver result so the DP is skipped entirely (cost-only mode: the two
-    are mutually exclusive with ``build_schedule=True``).  ``attribute``
-    additionally decomposes the DP cost into per-request ledger charges
-    (with ``dp_cost`` injection the matching ``dp_attribution`` must be
-    supplied -- the memo stores both together).
+    By default the item's trajectory comes from the sequence's cached
+    columnar projection (:meth:`~repro.cache.model.RequestSequence.item_view`),
+    so repeated serves stop re-scanning ``requests``.  ``sub`` lets
+    callers that already hold the restriction (a projected sequence or a
+    view) inject it; ``dp_cost`` injects a memoised solver result so the
+    DP is skipped entirely (cost-only mode: the two are mutually
+    exclusive with ``build_schedule=True``).  ``attribute`` additionally
+    decomposes the DP cost into per-request ledger charges (with
+    ``dp_cost`` injection the matching ``dp_attribution`` must be
+    supplied -- the memo stores both together).  ``dp_backend`` picks
+    the solver backend (``"sparse"``/``"dense"``/``"batched"``).
     """
     if sub is None:
-        sub = seq.restrict_to_item(item)
+        sub = seq.item_view(item)
     if dp_cost is not None:
         if build_schedule:
             raise ValueError("dp_cost injection is cost-only")
@@ -184,7 +188,9 @@ def serve_singleton(
         cost, schedule = dp_cost, None
         attribution = dp_attribution if attribute else None
     else:
-        res = solve_optimal(sub, model, build_schedule=build_schedule)
+        res = solve_optimal(
+            sub, model, build_schedule=build_schedule, backend=dp_backend
+        )
         cost, schedule = res.cost, res.schedule
         attribution = attribute_cost(sub, model, res) if attribute else None
     return GroupReport(
@@ -282,7 +288,8 @@ def serve_package(
     dp_cost: Optional[float] = None,
     dp_attribution: Optional[Tuple[Tuple[float, str, float], ...]] = None,
     attribute: bool = False,
-    co_view: Optional[RequestSequence] = None,
+    co_view: "RequestSequence | SingleItemView | None" = None,
+    dp_backend: str = "sparse",
 ) -> GroupReport:
     """Serve one package per Phase 2 of Algorithm 1.
 
@@ -301,7 +308,12 @@ def serve_package(
     ``dp_attribution`` must be supplied.  ``co_view`` lets callers that
     already restricted the sequence to the package's co-occurrence nodes
     (the execution engine restricts once to fingerprint the sub-problem)
-    skip the second ``restrict_to_items`` scan.
+    inject the restriction -- a projected :class:`RequestSequence` or a
+    bare :class:`SingleItemView`; by default the trajectory comes from
+    the sequence's cached columnar projection
+    (:meth:`~repro.cache.model.RequestSequence.group_view`).
+    ``dp_backend`` picks the co-occurrence solver backend
+    (``"sparse"``/``"dense"``/``"batched"``).
     """
     k = len(package)
     if k < 2:
@@ -311,7 +323,7 @@ def serve_package(
     ship_cost = rate * lam  # Observation 2's constant (2*alpha*lam for k=2)
 
     if co_view is None:
-        co_view = seq.restrict_to_items(package, mode="all")
+        co_view = seq.group_view(package)
     if dp_cost is not None:
         if build_schedule:
             raise ValueError("dp_cost injection is cost-only")
@@ -325,14 +337,21 @@ def serve_package(
         # The package is one pseudo-item: project the co-occurrence nodes
         # to a bare (server, time) trajectory and run the optimal DP at
         # package rate.
-        pseudo = SingleItemView(
-            servers=co_view.servers,
-            times=co_view.times,
-            num_servers=co_view.num_servers,
-            origin=co_view.origin,
-        )
+        if isinstance(co_view, SingleItemView):
+            pseudo = co_view
+        else:
+            pseudo = SingleItemView(
+                servers=co_view.servers,
+                times=co_view.times,
+                num_servers=co_view.num_servers,
+                origin=co_view.origin,
+            )
         dp = solve_optimal(
-            pseudo, model, build_schedule=build_schedule, rate_multiplier=rate
+            pseudo,
+            model,
+            build_schedule=build_schedule,
+            rate_multiplier=rate,
+            backend=dp_backend,
         )
         dp_total, dp_schedule = dp.cost, dp.schedule
         attribution = (
@@ -381,6 +400,7 @@ def solve_dp_greedy(
     obs: "object | None" = None,
     tracer: "object | None" = None,
     resilience: "object | bool | None" = None,
+    dp_backend: str = "sparse",
 ) -> DPGreedyResult:
     """Run the full two-phase DP_Greedy algorithm on ``seq``.
 
@@ -445,9 +465,18 @@ def solve_dp_greedy(
         execution engine; retry/timeout/fallback counters surface on
         ``engine_stats`` and (with ``obs=``) as ``engine.*`` metrics
         counters.
+    dp_backend:
+        Phase-2 solver backend per serving unit: ``"sparse"`` (default),
+        ``"dense"`` (the cross-check reference), or ``"batched"`` -- the
+        vectorized lockstep kernel of :mod:`repro.cache.batched_dp`.
+        ``"batched"`` implies the execution engine, whose scheduler
+        buckets memo-miss units by length and solves whole buckets per
+        dispatch; all backends produce bit-identical costs.
     """
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if dp_backend not in ("sparse", "dense", "batched"):
+        raise ValueError(f"unknown DP backend {dp_backend!r}")
     # fail fast on corrupt inputs, with request indices in the message,
     # rather than deep inside a DP recurrence
     seq.validate()
@@ -488,6 +517,7 @@ def solve_dp_greedy(
         or pool is not None
         or memo not in (None, False)
         or resilience not in (None, False)
+        or dp_backend == "batched"
     )
     if use_engine:
         from ..engine.memo import SolverMemo, get_default_memo
@@ -516,6 +546,7 @@ def solve_dp_greedy(
                 attribute=observe,
                 tracer=tracer,
                 resilience=resilience,
+                dp_backend=dp_backend,
             )
     else:
         reports = []
@@ -536,6 +567,7 @@ def solve_dp_greedy(
                             alpha,
                             build_schedule=build_schedules,
                             attribute=observe,
+                            dp_backend=dp_backend,
                         )
                     )
             for d in plan.singletons:
@@ -553,6 +585,7 @@ def solve_dp_greedy(
                             model,
                             build_schedule=build_schedules,
                             attribute=observe,
+                            dp_backend=dp_backend,
                         )
                     )
 

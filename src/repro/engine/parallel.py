@@ -44,13 +44,20 @@ per call through :class:`EngineStats`.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
-from ..cache.model import CostModel, RequestSequence, SingleItemView, package_rate
+from ..cache.batched_dp import batched_optimal_costs, length_buckets, pad_waste
+from ..cache.model import (
+    CostModel,
+    RequestSequence,
+    SingleItemView,
+    package_rate,
+)
 from ..correlation.packing import PackingPlan
 from ..core.dp_greedy import GroupReport, serve_package, serve_singleton
 from ..obs.tracing import Tracer, maybe_span
@@ -59,6 +66,7 @@ from .memo import SolverMemo, fingerprint_view
 __all__ = [
     "AUTO_SERIAL_NODES",
     "PROCESS_POOL_NODES",
+    "BatchResult",
     "EngineStats",
     "serve_plan",
 ]
@@ -71,19 +79,27 @@ AUTO_SERIAL_NODES = 4_096
 #: process pool over threads.
 PROCESS_POOL_NODES = 16_384
 
-# Unit spec shipped to workers: ("package", (d1, d2, ...)) or
-# ("singleton", item).  Tuples keep pickling cheap and deterministic.
-_UnitSpec = Tuple[str, Union[Tuple[int, ...], int]]
+# Unit spec shipped to workers: ("package", (d1, d2, ...)),
+# ("singleton", item), or -- under the batched backend -- a whole
+# length-bucket ("batch", (spec, spec, ...)) solved in one kernel call.
+# Tuples keep pickling cheap and deterministic.
+_UnitSpec = Tuple[str, Union[Tuple[int, ...], int, Tuple]]
+
+_DP_BACKENDS = ("sparse", "dense", "batched")
 
 
 @dataclass(frozen=True)
 class EngineStats:
     """Observability record of one :func:`serve_plan` call.
 
-    The last four counters are produced by the resilient dispatch layer
-    (:mod:`repro.engine.resilience`) and stay zero on the classic path;
-    ``pool`` always records the backend the heuristic *picked* -- pool
-    degradation is visible through ``pool_fallbacks``.
+    The retry/timeout/fallback/failed counters are produced by the
+    resilient dispatch layer (:mod:`repro.engine.resilience`) and stay
+    zero on the classic path; ``pool`` always records the backend the
+    heuristic *picked* -- pool degradation is visible through
+    ``pool_fallbacks``.  ``batches``/``pad_waste`` are produced by the
+    batched scheduler (``dp_backend="batched"``): bucket count
+    dispatched through the kernel and the padded-slot fraction its
+    length bucketing wasted.
     """
 
     units: int
@@ -98,11 +114,35 @@ class EngineStats:
     timeouts: int = 0  # per-unit deadline expiries
     pool_fallbacks: int = 0  # degradation-ladder steps taken
     units_failed: int = 0  # units dropped under on_unit_error="skip"
+    batches: int = 0  # length buckets dispatched through the kernel
+    pad_waste: float = 0.0  # padded-slot fraction wasted by bucketing
+    dp_backend: str = "sparse"
 
     @property
     def memo_hit_rate(self) -> float:
         total = self.memo_hits + self.memo_misses
         return self.memo_hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """DP costs of one ``("batch", ...)`` dispatch, in member order.
+
+    Engine-internal: the parent unpacks it back into per-unit
+    :class:`~repro.core.dp_greedy.GroupReport` objects.  It exposes a
+    ``package_cost`` field and a ``total`` property so the resilience
+    layer's finite-cost audit and the chaos corruption hook
+    (:meth:`~repro.engine.chaos.FaultPlan.corrupt_report`, which
+    replaces ``package_cost`` with NaN) apply to batch dispatches
+    unchanged.
+    """
+
+    costs: Tuple[float, ...]
+    package_cost: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.package_cost + math.fsum(self.costs)
 
 
 def _plan_units(plan: PackingPlan) -> List[_UnitSpec]:
@@ -115,11 +155,39 @@ def _plan_units(plan: PackingPlan) -> List[_UnitSpec]:
 
 
 def _unit_label(spec: _UnitSpec) -> str:
-    """Human-readable span label: ``"pkg(1,2)"`` / ``"item(7)"``."""
+    """Human-readable span label: ``"pkg(1,2)"`` / ``"item(7)"`` /
+    ``"batch(3u@item(7))"`` (member count + first member)."""
     kind, payload = spec
     if kind == "package":
         return "pkg(" + ",".join(str(d) for d in payload) + ")"
+    if kind == "batch":
+        return f"batch({len(payload)}u@{_unit_label(payload[0])})"
     return f"item({payload})"
+
+
+def _unit_view(seq: RequestSequence, spec: _UnitSpec) -> SingleItemView:
+    """The unit's solver trajectory from the sequence's cached columnar
+    projections (items: per-item view; packages: co-occurrence view)."""
+    kind, payload = spec
+    if kind == "package":
+        return seq.group_view(frozenset(payload))
+    return seq.item_view(payload)
+
+
+def _solve_batch(
+    seq: RequestSequence,
+    specs: Tuple[_UnitSpec, ...],
+    model: CostModel,
+    alpha: float,
+) -> BatchResult:
+    """Price one length bucket through the lockstep kernel."""
+    views = [_unit_view(seq, spec) for spec in specs]
+    rates = [
+        package_rate(len(payload), alpha) if kind == "package" else 1.0
+        for kind, payload in specs
+    ]
+    costs = batched_optimal_costs(views, model, rates)
+    return BatchResult(costs=tuple(float(c) for c in costs))
 
 
 def _serve_unit(
@@ -129,8 +197,13 @@ def _serve_unit(
     alpha: float,
     build_schedules: bool,
     attribute: bool = False,
-) -> GroupReport:
+    dp_backend: str = "sparse",
+) -> "GroupReport | BatchResult":
     kind, payload = spec
+    if kind == "batch":
+        # whole bucket in one kernel call; the scheduler only emits
+        # batch specs in cost-only mode (no schedules, no attribution)
+        return _solve_batch(seq, payload, model, alpha)
     if kind == "package":
         return serve_package(
             seq,
@@ -139,10 +212,32 @@ def _serve_unit(
             alpha,
             build_schedule=build_schedules,
             attribute=attribute,
+            dp_backend=dp_backend,
         )
     return serve_singleton(
-        seq, payload, model, build_schedule=build_schedules, attribute=attribute
+        seq,
+        payload,
+        model,
+        build_schedule=build_schedules,
+        attribute=attribute,
+        dp_backend=dp_backend,
     )
+
+
+def _assemble_unit_report(
+    seq: RequestSequence,
+    spec: _UnitSpec,
+    model: CostModel,
+    alpha: float,
+    dp_cost: float,
+) -> GroupReport:
+    """Rebuild a unit's :class:`GroupReport` around a batch-solved DP
+    cost (the single-sided greedy pass of packages runs here in the
+    parent -- it is cheap and carries the per-node mode ledger)."""
+    kind, payload = spec
+    if kind == "package":
+        return serve_package(seq, frozenset(payload), model, alpha, dp_cost=dp_cost)
+    return serve_singleton(seq, payload, model, dp_cost=dp_cost)
 
 
 # ---------------------------------------------------------------------------
@@ -160,15 +255,18 @@ def _init_worker(
     build_schedules: bool,
     attribute: bool,
     trace: bool = False,
+    dp_backend: str = "sparse",
 ) -> None:
     global _WORKER_ARGS, _WORKER_TRACER
-    _WORKER_ARGS = (seq, model, alpha, build_schedules, attribute)
+    _WORKER_ARGS = (seq, model, alpha, build_schedules, attribute, dp_backend)
     _WORKER_TRACER = Tracer() if trace else None
 
 
-def _serve_unit_in_worker(spec: _UnitSpec) -> GroupReport:
-    seq, model, alpha, build_schedules, attribute = _WORKER_ARGS
-    return _serve_unit(seq, spec, model, alpha, build_schedules, attribute)
+def _serve_unit_in_worker(spec: _UnitSpec) -> "GroupReport | BatchResult":
+    seq, model, alpha, build_schedules, attribute, dp_backend = _WORKER_ARGS
+    return _serve_unit(
+        seq, spec, model, alpha, build_schedules, attribute, dp_backend
+    )
 
 
 def _serve_unit_in_worker_traced(spec: _UnitSpec):
@@ -179,15 +277,22 @@ def _serve_unit_in_worker_traced(spec: _UnitSpec):
     and real pid/tid merge directly into the parent trace (see
     :mod:`repro.obs.tracing` for the clock model).
     """
-    seq, model, alpha, build_schedules, attribute = _WORKER_ARGS
+    seq, model, alpha, build_schedules, attribute, dp_backend = _WORKER_ARGS
     tracer = _WORKER_TRACER
     if tracer is None:  # pragma: no cover - defensive; init always ran
-        return _serve_unit(seq, spec, model, alpha, build_schedules, attribute), ()
+        return (
+            _serve_unit(
+                seq, spec, model, alpha, build_schedules, attribute, dp_backend
+            ),
+            (),
+        )
     mark = tracer.mark()
     with tracer.span(
         "phase2.solve", cat="phase2", unit=_unit_label(spec), kind=spec[0]
     ):
-        report = _serve_unit(seq, spec, model, alpha, build_schedules, attribute)
+        report = _serve_unit(
+            seq, spec, model, alpha, build_schedules, attribute, dp_backend
+        )
     return report, tracer.records(since=mark)
 
 
@@ -211,7 +316,7 @@ def _memo_probe(
     """
     kind, payload = spec
     if kind == "singleton":
-        sub = seq.restrict_to_item(payload)
+        sub = seq.item_view(payload)
         key = fingerprint_view(sub, model, 1.0)
         entry = memo.get(key, with_attribution=attribute)
         if entry is None:
@@ -230,13 +335,7 @@ def _memo_probe(
             None,
         )
     package = frozenset(payload)
-    co_view = seq.restrict_to_items(package, mode="all")
-    pseudo = SingleItemView(
-        servers=co_view.servers,
-        times=co_view.times,
-        num_servers=co_view.num_servers,
-        origin=co_view.origin,
-    )
+    pseudo = seq.group_view(package)  # cached columnar co-occurrence view
     key = fingerprint_view(pseudo, model, package_rate(len(package), alpha))
     entry = memo.get(key, with_attribution=attribute)
     if entry is None:
@@ -251,15 +350,17 @@ def _memo_probe(
             dp_cost=cost,
             dp_attribution=attr,
             attribute=attribute,
-            co_view=co_view,  # the probe already restricted: skip the rescan
+            co_view=pseudo,  # the probe already projected: skip the rescan
         ),
         None,
     )
 
 
 def _unit_sizes(seq: RequestSequence, units: Sequence[_UnitSpec]) -> List[int]:
-    """Carried-request count per unit (the pool-selection size estimate)."""
-    counts = seq.item_counts()
+    """Carried-request count per unit (the pool-selection size estimate,
+    also the batch scheduler's length key), served from the sequence's
+    cached per-item projections."""
+    counts = seq.item_event_counts()
     sizes: List[int] = []
     for kind, payload in units:
         if kind == "singleton":
@@ -323,6 +424,7 @@ def _make_executor(
     build_schedules: bool,
     attribute: bool,
     trace: bool = False,
+    dp_backend: str = "sparse",
 ) -> Executor:
     if kind == "thread":
         return ThreadPoolExecutor(max_workers=workers)
@@ -331,7 +433,7 @@ def _make_executor(
         max_workers=workers,
         mp_context=ctx,
         initializer=_init_worker,
-        initargs=(seq, model, alpha, build_schedules, attribute, trace),
+        initargs=(seq, model, alpha, build_schedules, attribute, trace, dp_backend),
     )
 
 
@@ -348,6 +450,7 @@ def serve_plan(
     attribute: bool = False,
     tracer: Optional[Tracer] = None,
     resilience: "object | bool | None" = None,
+    dp_backend: str = "sparse",
 ) -> Tuple[List[GroupReport], EngineStats]:
     """Serve every unit of ``plan``; return reports in serial order.
 
@@ -386,13 +489,33 @@ def serve_plan(
         pools, re-dispatching only unfinished units), and optional
         deterministic fault injection.  ``None``/``False`` (default)
         keeps the classic dispatch path byte-for-byte.
+    dp_backend:
+        Per-unit solver backend (``"sparse"``/``"dense"``/``"batched"``).
+        Under ``"batched"`` in cost-only mode (no schedules, no
+        attribution) the scheduler buckets memo-miss units by length
+        (:func:`~repro.cache.batched_dp.length_buckets` over the shared
+        ``_unit_sizes`` estimate, bounding pad waste), dispatches whole
+        buckets through the same pool/resilience machinery as one
+        ``("batch", ...)`` spec each, and unpacks the kernel's costs
+        back into per-unit reports in the parent; memoisation stores the
+        per-unit costs exactly as on the classic path.  With schedules
+        or attribution requested the batch scheduler stands down and
+        every unit solves individually through
+        ``solve_optimal(backend="batched")`` (the kernel is cost-only).
+        All backends produce bit-identical reports.
     """
     from .resilience import ResilienceConfig
 
+    if dp_backend not in _DP_BACKENDS:
+        raise ValueError(f"unknown DP backend {dp_backend!r}")
     resil = ResilienceConfig.coerce(resilience)
     units = _plan_units(plan)
     n_packages = len(plan.packages)
     use_memo = memo is not None and not build_schedules
+
+    # one sizes pass for the whole plan: pool auto-selection and batch
+    # bucketing share it instead of re-deriving per phase
+    all_sizes = _unit_sizes(seq, units)
 
     reports: List[Optional[GroupReport]] = [None] * len(units)
     pending: List[int] = []
@@ -414,9 +537,35 @@ def serve_plan(
     else:
         pending = list(range(len(units)))
 
-    sizes = _unit_sizes(seq, [units[i] for i in pending])
-    workers_used, kind = _resolve_backend(workers, sum(sizes), len(pending), pool)
+    pending_nodes = sum(all_sizes[i] for i in pending)
 
+    # -- batch scheduling (dp_backend="batched", cost-only mode) ---------
+    batch_mode = (
+        dp_backend == "batched"
+        and not build_schedules
+        and not attribute
+        and bool(pending)
+    )
+    buckets: List[List[int]] = []
+    waste = 0.0
+    if batch_mode:
+        lengths = {idx: all_sizes[idx] for idx in pending}
+        buckets = length_buckets(pending, lengths)
+        # report the padding the kernel will actually materialise (event
+        # counts of the cached views, origin included)
+        view_lengths = {idx: len(_unit_view(seq, units[idx])) for idx in pending}
+        waste = pad_waste(buckets, view_lengths)
+        dispatch_specs: List[_UnitSpec] = [
+            ("batch", tuple(units[i] for i in bucket)) for bucket in buckets
+        ]
+    else:
+        dispatch_specs = [units[i] for i in pending]
+
+    workers_used, kind = _resolve_backend(
+        workers, pending_nodes, len(dispatch_specs), pool
+    )
+
+    resolved: Dict[int, object] = {}
     res_counters = None
     if resil is not None:
         from .resilience import dispatch_resilient
@@ -427,7 +576,8 @@ def serve_plan(
             cat="engine",
             pool=kind,
             workers=workers_used,
-            dispatched=len(pending),
+            dispatched=len(dispatch_specs),
+            batches=len(buckets),
             resilient=True,
         ):
             resolved, res_counters = dispatch_resilient(
@@ -438,27 +588,25 @@ def serve_plan(
                 alpha=alpha,
                 build_schedules=build_schedules,
                 attribute=attribute,
-                units={idx: units[idx] for idx in pending},
+                units=dict(enumerate(dispatch_specs)),
                 tracer=tracer,
                 config=resil,
+                dp_backend=dp_backend,
             )
-        for idx, report in resolved.items():
-            reports[idx] = report
     elif kind == "serial":
-        for idx in pending:
+        for pos, spec in enumerate(dispatch_specs):
             with maybe_span(
                 tracer,
                 "phase2.solve",
                 cat="phase2",
-                unit=_unit_label(units[idx]),
-                kind=units[idx][0],
+                unit=_unit_label(spec),
+                kind=spec[0],
             ):
-                reports[idx] = _serve_unit(
-                    seq, units[idx], model, alpha, build_schedules, attribute
+                resolved[pos] = _serve_unit(
+                    seq, spec, model, alpha, build_schedules, attribute, dp_backend
                 )
     else:
-        specs = [units[i] for i in pending]
-        chunksize = max(1, len(specs) // (4 * workers_used))
+        chunksize = max(1, len(dispatch_specs) // (4 * workers_used))
         trace = tracer is not None
         with maybe_span(
             tracer,
@@ -466,15 +614,16 @@ def serve_plan(
             cat="engine",
             pool=kind,
             workers=workers_used,
-            dispatched=len(specs),
+            dispatched=len(dispatch_specs),
+            batches=len(buckets),
         ):
             with _make_executor(
                 kind, workers_used, seq, model, alpha, build_schedules,
-                attribute, trace,
+                attribute, trace, dp_backend,
             ) as ex:
                 if kind == "thread":
 
-                    def _serve_traced(spec: _UnitSpec) -> GroupReport:
+                    def _serve_traced(spec: _UnitSpec):
                         # worker threads record straight into the shared
                         # tracer; each span stamps its own tid
                         with maybe_span(
@@ -485,25 +634,43 @@ def serve_plan(
                             kind=spec[0],
                         ):
                             return _serve_unit(
-                                seq, spec, model, alpha, build_schedules, attribute
+                                seq, spec, model, alpha, build_schedules,
+                                attribute, dp_backend,
                             )
 
-                    results = ex.map(_serve_traced, specs)
-                    for idx, report in zip(pending, results):
-                        reports[idx] = report
+                    results = ex.map(_serve_traced, dispatch_specs)
+                    for pos, report in enumerate(results):
+                        resolved[pos] = report
                 elif trace:
                     results = ex.map(
-                        _serve_unit_in_worker_traced, specs, chunksize=chunksize
+                        _serve_unit_in_worker_traced,
+                        dispatch_specs,
+                        chunksize=chunksize,
                     )
-                    for idx, (report, spans) in zip(pending, results):
-                        reports[idx] = report
+                    for pos, (report, spans) in enumerate(results):
+                        resolved[pos] = report
                         tracer.extend(spans)
                 else:
                     results = ex.map(
-                        _serve_unit_in_worker, specs, chunksize=chunksize
+                        _serve_unit_in_worker, dispatch_specs, chunksize=chunksize
                     )
-                    for idx, report in zip(pending, results):
-                        reports[idx] = report
+                    for pos, report in enumerate(results):
+                        resolved[pos] = report
+
+    # -- map dispatch results back onto per-unit reports -----------------
+    if batch_mode:
+        for pos, bucket in enumerate(buckets):
+            batch = resolved.get(pos)
+            if batch is None:  # bucket skipped by the resilience layer
+                continue
+            for unit_idx, cost in zip(bucket, batch.costs):
+                reports[unit_idx] = _assemble_unit_report(
+                    seq, units[unit_idx], model, alpha, float(cost)
+                )
+    else:
+        for pos, unit_idx in enumerate(pending):
+            if pos in resolved:
+                reports[unit_idx] = resolved[pos]
 
     if use_memo:
         for idx in pending:
@@ -528,5 +695,8 @@ def serve_plan(
         timeouts=res_counters.timeouts if res_counters else 0,
         pool_fallbacks=res_counters.pool_fallbacks if res_counters else 0,
         units_failed=res_counters.units_failed if res_counters else 0,
+        batches=len(buckets),
+        pad_waste=waste,
+        dp_backend=dp_backend,
     )
     return [r for r in reports if r is not None], stats

@@ -200,7 +200,7 @@ def _serve_unit_attempt_in_worker(spec, attempt, plan, trace):
     """
     from . import parallel
 
-    seq, model, alpha, build_schedules, attribute = parallel._WORKER_ARGS
+    seq, model, alpha, build_schedules, attribute, dp_backend = parallel._WORKER_ARGS
     label = parallel._unit_label(spec)
     corrupt = (
         plan.before_solve(label, attempt, in_subprocess=True)
@@ -214,7 +214,7 @@ def _serve_unit_attempt_in_worker(spec, attempt, plan, trace):
         attempt=attempt,
     ):
         report = parallel._serve_unit(
-            seq, spec, model, alpha, build_schedules, attribute
+            seq, spec, model, alpha, build_schedules, attribute, dp_backend
         )
     if corrupt:
         report = FaultPlan.corrupt_report(report)
@@ -240,13 +240,17 @@ def dispatch_resilient(
     units: Dict[int, tuple],
     tracer,
     config: ResilienceConfig,
+    dp_backend: str = "sparse",
 ) -> Tuple[Dict[int, object], ResilienceCounters]:
     """Serve ``units`` (``index -> spec``) fault-tolerantly.
 
     Returns the reports by index (skipped units absent) plus the
     counters.  ``kind`` is the pool the heuristic picked; broken pools
     degrade down :data:`DEGRADATION_LADDER`, re-dispatching only
-    unresolved units.
+    unresolved units.  Specs may include whole ``("batch", ...)``
+    buckets of the batched scheduler: retry, timeout, degradation, the
+    finite-cost audit, and chaos corruption then apply per *bucket*
+    (``units_failed`` counts one per skipped dispatch).
     """
     from .parallel import _make_executor, _serve_unit, _unit_label
 
@@ -281,7 +285,9 @@ def dispatch_resilient(
             tracer, "phase2.solve", cat="phase2", unit=label(idx),
             kind=spec[0], attempt=attempt,
         ):
-            report = _serve_unit(seq, spec, model, alpha, build_schedules, attribute)
+            report = _serve_unit(
+                seq, spec, model, alpha, build_schedules, attribute, dp_backend
+            )
         if corrupt:
             report = FaultPlan.corrupt_report(report)
         return report
@@ -355,7 +361,8 @@ def dispatch_resilient(
     def run_pool_rung(rung: str) -> None:
         trace = tracer is not None
         ex = _make_executor(
-            rung, workers, seq, model, alpha, build_schedules, attribute, trace
+            rung, workers, seq, model, alpha, build_schedules, attribute, trace,
+            dp_backend,
         )
         try:
             pending = deque(unresolved())

@@ -10,11 +10,19 @@ at fixed ``m``), which is the headline of the sparse-hot-paths
 optimisation.  Absolute constants are of course Python's, not the
 paper's C solver's.
 
+The batched lockstep kernel (``backend="batched"``) is timed on the
+same views for reference: single-view batched calls mostly measure the
+numpy dispatch overhead -- the kernel's win comes from amortising the
+per-event interpreter step over many units (see
+``benchmarks/test_bench_batched.py``) -- but the curve pins its
+single-instance cost and its bit-equality against the other backends.
+
 Timing runs through :func:`repro.obs.bench.time_best_of`, so every
 repeat also accumulates in a :class:`~repro.obs.timers.PhaseTimers`
 (per-size phases ``scaling.dp.n<N>`` / ``scaling.dp_dense.n<N>`` /
-``scaling.prescan.n<N>``), and with ``history=`` the best-of times land
-in ``BENCH_history.jsonl`` as ``scaling.dp`` / ``scaling.dp_dense`` /
+``scaling.dp_batched.n<N>`` / ``scaling.prescan.n<N>``), and with
+``history=`` the best-of times land in ``BENCH_history.jsonl`` as
+``scaling.dp`` / ``scaling.dp_dense`` / ``scaling.dp_batched`` /
 ``scaling.prescan`` records -- the same trajectory the benchmark suite
 feeds, so scaling runs participate in the perf regression gate.
 """
@@ -54,7 +62,8 @@ def run_scaling(
 
     ``history`` (a ``BENCH_history.jsonl`` path) appends one record per
     timed curve -- bench ids ``scaling.dp`` (sparse backend),
-    ``scaling.dp_dense``, ``scaling.prescan``, seconds = total best-of
+    ``scaling.dp_dense``, ``scaling.dp_batched``, ``scaling.prescan``,
+    seconds = total best-of
     time over the sweep, per-size seconds in the counters -- so harness
     runs are tracked alongside the benchmarks.  ``checkpoint``/``resume``
     make each completed size point durable and skip recorded ones on
@@ -74,14 +83,15 @@ def run_scaling(
 
     dp_curve = []
     dense_curve = []
+    batched_curve = []
     scan_curve = []
-    largest_cost_sparse = largest_cost_dense = 0.0
     for n in sizes:
         point = {"n": n}
         cached = ckpt.get(point) if ckpt else None
-        if cached is not None:
+        if cached is not None and "t_batched" in cached:
             t_dp = cached["t_dp"]
             t_dense = cached["t_dense"]
+            t_batched = cached["t_batched"]
             t_scan = cached["t_scan"]
             row = cached["row"]
         else:
@@ -94,17 +104,23 @@ def run_scaling(
                 partial(optimal_cost, backend="dense"), view, model,
                 repeats=repeats, timers=timers, phase=f"scaling.dp_dense.n{n}",
             )
+            t_batched = time_best_of(
+                partial(optimal_cost, backend="batched"), view, model,
+                repeats=repeats, timers=timers, phase=f"scaling.dp_batched.n{n}",
+            )
             t_scan = time_best_of(
                 PreScan, view,
                 repeats=repeats, timers=timers, phase=f"scaling.prescan.n{n}",
             )
-            # both backends must agree bit-for-bit at every size
-            largest_cost_sparse = optimal_cost(view, model)
-            largest_cost_dense = optimal_cost(view, model, backend="dense")
-            if largest_cost_sparse != largest_cost_dense:
+            # all backends must agree bit-for-bit at every size
+            cost_sparse = optimal_cost(view, model)
+            cost_dense = optimal_cost(view, model, backend="dense")
+            cost_batched = optimal_cost(view, model, backend="batched")
+            if not (cost_sparse == cost_dense == cost_batched):
                 raise AssertionError(
                     f"DP backend mismatch at n={n}: "
-                    f"sparse {largest_cost_sparse!r} != dense {largest_cost_dense!r}"
+                    f"sparse {cost_sparse!r} != dense {cost_dense!r} "
+                    f"!= batched {cost_batched!r}"
                 )
             # the timers saw every repeat, so seconds/calls is the mean --
             # reported next to the best-of to expose timing noise
@@ -114,20 +130,26 @@ def run_scaling(
                 "dp_seconds": round(t_dp, 6),
                 "dp_seconds_mean": round(dp_mean, 6),
                 "dp_dense_seconds": round(t_dense, 6),
+                "dp_batched_seconds": round(t_batched, 6),
                 "prescan_seconds": round(t_scan, 6),
             }
             if ckpt:
                 ckpt.record(
                     point,
-                    {"row": row, "t_dp": t_dp, "t_dense": t_dense, "t_scan": t_scan},
+                    {
+                        "row": row, "t_dp": t_dp, "t_dense": t_dense,
+                        "t_batched": t_batched, "t_scan": t_scan,
+                    },
                 )
         dp_curve.append((float(n), t_dp))
         dense_curve.append((float(n), t_dense))
+        batched_curve.append((float(n), t_batched))
         scan_curve.append((float(n), t_scan))
         result.rows.append(row)
 
     result.series["optimal DP (sparse frontier, cost only)"] = dp_curve
     result.series["optimal DP (dense sweep, cost only)"] = dense_curve
+    result.series["optimal DP (batched kernel, B=1)"] = batched_curve
     result.series["pre-scan build"] = scan_curve
 
     def slope(curve) -> float:
@@ -167,6 +189,11 @@ def run_scaling(
             "scaling.dp_dense",
             sum(t for _, t in dense_curve),
             {**counters, **{f"n{int(n)}": t for n, t in dense_curve}},
+        )
+        recorder.append(
+            "scaling.dp_batched",
+            sum(t for _, t in batched_curve),
+            {**counters, **{f"n{int(n)}": t for n, t in batched_curve}},
         )
         recorder.append(
             "scaling.prescan",

@@ -1,0 +1,273 @@
+"""Equivalence of the batched lockstep kernel against the scalar backends.
+
+The batched kernel advances many sparse frontiers at once with numpy,
+but performs each row's additions and min-reductions in the scalar
+sweep's exact order -- so its costs must match the sparse (and dense)
+backends *bitwise*, not approximately.  The suite pins that over random
+batches of mixed lengths and rate multipliers, then climbs the stack:
+``solve_optimal``/``optimal_cost`` backend parity, bucketing-helper
+properties, and the engine batch scheduler -- including batched units
+dispatched through the resilient path under a chaos storm, which must
+still reproduce the clean serial solve exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.batched_dp import (
+    batched_optimal_costs,
+    length_buckets,
+    pad_waste,
+)
+from repro.cache.model import CostModel, SingleItemView
+from repro.cache.optimal_dp import optimal_cost, solve_optimal
+from repro.cache.schedule import validate_schedule
+from repro.core.dp_greedy import solve_dp_greedy
+from repro.engine.chaos import FaultPlan
+from repro.engine.memo import SolverMemo
+from repro.engine.resilience import ResilienceConfig
+from repro.trace.workload import random_single_item_view, zipf_item_workload
+
+from ..conftest import cost_models, single_item_views
+
+RATES = st.sampled_from([1.0, 0.5, 1.6, 2.0])
+
+
+def _random_views(seed: int, count: int, max_n: int = 60, m: int = 6):
+    """Continuous-uniform instances: exact cost ties have probability zero."""
+    rng = np.random.default_rng(seed)
+    views = []
+    for _ in range(count):
+        n = int(rng.integers(0, max_n))
+        views.append(
+            random_single_item_view(n, m, seed=int(rng.integers(0, 2**31)),
+                                    horizon=float(max(n, 1)))
+        )
+    return views
+
+
+class TestKernelBitIdentity:
+    @given(
+        views=st.lists(single_item_views(), min_size=1, max_size=6),
+        model=cost_models(),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_batch_matches_sparse_and_dense_bitwise(self, views, model, data):
+        rates = data.draw(
+            st.lists(RATES, min_size=len(views), max_size=len(views))
+        )
+        got = batched_optimal_costs(views, model, rates)
+        assert got.dtype == np.float64 and got.shape == (len(views),)
+        for b, (v, rate) in enumerate(zip(views, rates)):
+            assert got[b] == optimal_cost(v, model, rate_multiplier=rate)
+            assert got[b] == optimal_cost(
+                v, model, rate_multiplier=rate, backend="dense"
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_large_mixed_batches_on_continuous_instances(self, seed):
+        views = _random_views(seed, count=40)
+        model = CostModel(
+            mu=float([0.25, 0.5, 1.0, 2.0][seed % 4]),
+            lam=float([2.0, 1.0, 0.5, 4.0][seed % 4]),
+        )
+        got = batched_optimal_costs(views, model)
+        for b, v in enumerate(views):
+            assert got[b] == optimal_cost(v, model)
+
+    def test_empty_batch_and_empty_views(self, unit_model):
+        assert batched_optimal_costs([], unit_model).shape == (0,)
+        empty = SingleItemView(servers=(), times=(), num_servers=3, origin=1)
+        one = SingleItemView(servers=(2,), times=(1.5,), num_servers=3, origin=0)
+        got = batched_optimal_costs([empty, one, empty], unit_model)
+        assert got[0] == got[2] == 0.0
+        assert got[1] == optimal_cost(one, unit_model)
+
+    def test_rate_multiplier_length_mismatch_rejected(self, unit_model):
+        v = SingleItemView(servers=(0,), times=(1.0,), num_servers=1, origin=0)
+        with pytest.raises(ValueError, match="rate multipliers"):
+            batched_optimal_costs([v, v], unit_model, [1.0])
+
+    def test_nonpositive_time_rejected_like_scalar(self, unit_model):
+        v = SingleItemView(servers=(0,), times=(0.0,), num_servers=1, origin=0)
+        with pytest.raises(ValueError, match="strictly positive"):
+            batched_optimal_costs([v], unit_model)
+
+    def test_array_backed_views_accepted(self, unit_model):
+        seq = zipf_item_workload(40, 5, 4, seed=7)
+        views = [seq.item_view(d) for d in sorted(seq.items)]
+        got = batched_optimal_costs(views, unit_model)
+        for b, v in enumerate(views):
+            assert got[b] == optimal_cost(v, unit_model)
+
+
+class TestBackendParity:
+    @given(v=single_item_views(), model=cost_models())
+    @settings(max_examples=60, deadline=None)
+    def test_solve_optimal_batched_matches_sparse(self, v, model):
+        rb = solve_optimal(v, model, backend="batched")
+        rs = solve_optimal(v, model)
+        assert rb.cost == rs.cost
+        assert rb.decisions == rs.decisions
+        assert rb.backbone_gaps == rs.backbone_gaps
+        validate_schedule(rb.schedule, v)
+        assert optimal_cost(v, model, backend="batched") == rs.cost
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rate_multiplier_parity(self, seed):
+        rng = np.random.default_rng(500 + seed)
+        n = int(rng.integers(1, 80))
+        v = random_single_item_view(n, 5, seed=seed, horizon=float(n))
+        model = CostModel(mu=1.0, lam=2.0)
+        rate = 1.6
+        assert optimal_cost(
+            v, model, rate_multiplier=rate, backend="batched"
+        ) == optimal_cost(v, model, rate_multiplier=rate)
+
+    def test_unknown_backend_still_rejected(self, unit_model):
+        v = SingleItemView(servers=(0,), times=(1.0,), num_servers=1, origin=0)
+        for backend in ("blocked", "BATCHED", ""):
+            with pytest.raises(ValueError, match="backend"):
+                solve_optimal(v, unit_model, backend=backend)
+            with pytest.raises(ValueError, match="backend"):
+                optimal_cost(v, unit_model, backend=backend)
+
+
+class TestBucketing:
+    @given(
+        lengths=st.lists(st.integers(0, 200), min_size=0, max_size=40),
+        max_ratio=st.sampled_from([1.0, 1.5, 2.0, 4.0]),
+        max_batch=st.integers(1, 8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_coverage_ratio_and_cap(self, lengths, max_ratio, max_batch):
+        table = dict(enumerate(lengths))
+        buckets = length_buckets(
+            list(table), table, max_ratio=max_ratio, max_batch=max_batch
+        )
+        flat = [i for bucket in buckets for i in bucket]
+        assert sorted(flat) == sorted(table)  # every id exactly once
+        for bucket in buckets:
+            assert 1 <= len(bucket) <= max_batch
+            lo = min(table[i] for i in bucket)
+            hi = max(table[i] for i in bucket)
+            assert hi <= max_ratio * max(lo, 1)
+        # deterministic
+        assert buckets == length_buckets(
+            list(table), table, max_ratio=max_ratio, max_batch=max_batch
+        )
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError, match="max_ratio"):
+            length_buckets([0], {0: 1}, max_ratio=0.5)
+        with pytest.raises(ValueError, match="max_batch"):
+            length_buckets([0], {0: 1}, max_batch=0)
+
+    @given(lengths=st.lists(st.integers(0, 100), min_size=0, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_pad_waste_bounds(self, lengths):
+        table = dict(enumerate(lengths))
+        buckets = length_buckets(list(table), table)
+        w = pad_waste(buckets, table)
+        assert 0.0 <= w < 1.0
+
+    def test_pad_waste_zero_for_uniform_and_empty(self):
+        assert pad_waste([], {}) == 0.0
+        table = {i: 10 for i in range(5)}
+        assert pad_waste(length_buckets(list(table), table), table) == 0.0
+
+
+class TestEngineBatchScheduler:
+    def _workload(self, n=300, seed=5):
+        return zipf_item_workload(n, 8, 10, seed=seed, cooccurrence=0.4)
+
+    def test_batched_solve_matches_serial_sparse(self, unit_model):
+        seq = self._workload()
+        ref = solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8)
+        got = solve_dp_greedy(
+            seq, unit_model, theta=0.3, alpha=0.8, dp_backend="batched"
+        )
+        assert got.total_cost == ref.total_cost
+        assert got.reports == ref.reports
+        es = got.engine_stats
+        assert es.dp_backend == "batched"
+        assert es.batches >= 1
+        assert 0.0 <= es.pad_waste < 1.0
+
+    def test_batched_under_thread_pool(self, unit_model):
+        seq = self._workload(seed=6)
+        ref = solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8)
+        got = solve_dp_greedy(
+            seq, unit_model, theta=0.3, alpha=0.8,
+            dp_backend="batched", workers=2, pool="thread",
+        )
+        assert got.total_cost == ref.total_cost
+        assert got.engine_stats.pool == "thread"
+
+    def test_memo_rerun_skips_batches(self, unit_model):
+        seq = self._workload(seed=7)
+        memo = SolverMemo()
+        first = solve_dp_greedy(
+            seq, unit_model, theta=0.3, alpha=0.8,
+            dp_backend="batched", memo=memo,
+        )
+        again = solve_dp_greedy(
+            seq, unit_model, theta=0.3, alpha=0.8,
+            dp_backend="batched", memo=memo,
+        )
+        assert again.total_cost == first.total_cost
+        assert again.engine_stats.memo_hit_rate == 1.0
+        assert again.engine_stats.dispatched == 0
+        assert again.engine_stats.batches == 0
+
+    def test_memo_shared_across_backends(self, unit_model):
+        seq = self._workload(seed=8)
+        memo = SolverMemo()
+        solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8, memo=memo)
+        got = solve_dp_greedy(
+            seq, unit_model, theta=0.3, alpha=0.8,
+            dp_backend="batched", memo=memo,
+        )
+        # sparse-run memo entries satisfy every batched-run unit
+        assert got.engine_stats.memo_hit_rate == 1.0
+
+    def test_chaos_storm_still_bit_identical(self, unit_model):
+        seq = self._workload(seed=9)
+        ref = solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8)
+        cfg = ResilienceConfig(
+            chaos=FaultPlan(seed=20190806, crash=0.3, corrupt=0.2),
+            retries=5,
+        )
+        got = solve_dp_greedy(
+            seq, unit_model, theta=0.3, alpha=0.8,
+            dp_backend="batched", workers=2, pool="thread", resilience=cfg,
+        )
+        assert got.total_cost == ref.total_cost
+        assert got.reports == ref.reports
+
+    def test_attribution_falls_back_to_per_unit(self, unit_model):
+        from repro.obs import RunObservation
+
+        seq = self._workload(seed=10)
+        ref = solve_dp_greedy(seq, unit_model, theta=0.3, alpha=0.8)
+        obs = RunObservation()
+        got = solve_dp_greedy(
+            seq, unit_model, theta=0.3, alpha=0.8,
+            dp_backend="batched", obs=obs,
+        )
+        # attribution needs per-unit decisions the cost-only kernel cannot
+        # produce, so the scheduler stands down to per-unit dispatch
+        assert got.total_cost == ref.total_cost
+        assert got.engine_stats.batches == 0
+
+    def test_unknown_dp_backend_rejected(self, unit_model):
+        seq = self._workload(n=20, seed=11)
+        with pytest.raises(ValueError, match="backend"):
+            solve_dp_greedy(
+                seq, unit_model, theta=0.3, alpha=0.8, dp_backend="blocked"
+            )

@@ -161,6 +161,79 @@ class TestRequestSequence:
         assert seq.total_item_requests() == 0
 
 
+class TestColumnarViews:
+    """The cached numpy projections must mirror the tuple-based paths."""
+
+    def _seq(self):
+        return RequestSequence(
+            [
+                (0, 1.0, {1, 2}),
+                (1, 2.0, {1}),
+                (0, 3.0, {2}),
+                (1, 4.0, {1, 2}),
+                (0, 5.0, {3}),
+            ],
+            num_servers=3,
+            origin=2,
+        )
+
+    def test_columns_match_requests_and_are_readonly(self):
+        seq = self._seq()
+        assert seq.servers_array.tolist() == [r.server for r in seq]
+        assert seq.times_array.tolist() == [r.time for r in seq]
+        assert not seq.servers_array.flags.writeable
+        assert not seq.times_array.flags.writeable
+
+    def test_item_view_matches_restrict_to_item(self):
+        seq = self._seq()
+        for d in seq.items:
+            iv = seq.item_view(d)
+            ref = seq.restrict_to_item(d).single_item_view()
+            assert list(iv.servers) == list(ref.servers)
+            assert list(iv.times) == list(ref.times)
+            assert iv.num_servers == ref.num_servers
+            assert iv.origin == ref.origin
+
+    def test_item_view_is_cached_and_unknown_item_empty(self):
+        seq = self._seq()
+        assert seq.item_view(1) is seq.item_view(1)
+        assert len(seq.item_view(99)) == 0
+
+    def test_group_view_matches_restrict_to_items(self):
+        seq = self._seq()
+        gv = seq.group_view({1, 2})
+        ref = seq.restrict_to_items({1, 2}, "all")
+        assert list(gv.servers) == [r.server for r in ref]
+        assert list(gv.times) == [r.time for r in ref]
+        # frozenset key: member order is irrelevant
+        assert gv is seq.group_view({2, 1})
+
+    def test_item_indices_and_event_counts(self):
+        seq = self._seq()
+        assert seq.item_indices(1).tolist() == [0, 1, 3]
+        assert seq.item_event_counts() == seq.item_counts()
+
+    def test_pickle_drops_caches_and_rebuilds(self):
+        import pickle
+
+        seq = self._seq()
+        seq.item_view(1)
+        seq.group_view({1, 2})
+        clone = pickle.loads(pickle.dumps(seq))
+        assert not any(k.startswith("_") and "cache" in k for k in vars(clone))
+        assert list(clone.item_view(1).times) == list(seq.item_view(1).times)
+
+    def test_array_backed_view_solves_identically(self, unit_model):
+        from repro.cache.optimal_dp import optimal_cost
+
+        seq = self._seq()
+        for d in seq.items:
+            ref = seq.restrict_to_item(d).single_item_view()
+            assert optimal_cost(seq.item_view(d), unit_model) == optimal_cost(
+                ref, unit_model
+            )
+
+
 class TestCostModel:
     def test_serve_cost_same_server_has_no_transfer(self, unit_model):
         assert unit_model.serve_cost(1.0, 3.0, same_server=True) == 2.0

@@ -171,11 +171,11 @@ class TestExecutorHardening:
                 return False
 
         def fake_make(kind, workers, seq, model, alpha, build_schedules,
-                      attribute, trace=False):
+                      attribute, trace=False, dp_backend="sparse"):
             # run the worker initializer in-process so _serve_unit_in_worker
             # finds its globals
             parallel._init_worker(
-                seq, model, alpha, build_schedules, attribute, trace
+                seq, model, alpha, build_schedules, attribute, trace, dp_backend
             )
             return _RecordingExecutor()
 
