@@ -97,6 +97,7 @@ from .engine import (
     FaultPlan,
     PreScan,
     ResilienceConfig,
+    ShardResult,
     SolverMemo,
     chaos_from_env,
     fingerprint_view,
@@ -104,6 +105,8 @@ from .engine import (
     package_service_pass,
     prev_same_server,
     serve_plan,
+    shard_by_items,
+    solve_dp_greedy_sharded,
 )
 from .errors import (
     PoolBrokenError,
@@ -117,6 +120,12 @@ from .obs import (
     LedgerReconciliationError,
     MetricsCollector,
     RunObservation,
+)
+from .trace import (
+    StoreSequence,
+    TraceStore,
+    convert_csv_to_store,
+    write_store,
 )
 from .viz import render_schedule
 
@@ -175,6 +184,14 @@ __all__ = [
     "fingerprint_view",
     "EngineStats",
     "serve_plan",
+    # out-of-core store + sharded driver
+    "TraceStore",
+    "StoreSequence",
+    "write_store",
+    "convert_csv_to_store",
+    "ShardResult",
+    "shard_by_items",
+    "solve_dp_greedy_sharded",
     # resilience + chaos
     "ResilienceConfig",
     "FaultPlan",

@@ -463,7 +463,12 @@ class RequestSequence:
         return {k: v for k, v in self.__dict__.items() if k not in _CACHE_KEYS}
 
     def __setstate__(self, state: Dict[str, object]) -> None:
-        self.__dict__.update(state)
+        # strip cache keys defensively: a foreign/future pickle that does
+        # carry them would alias writable buffers across processes --
+        # rebuild locally instead of trusting shipped state
+        self.__dict__.update(
+            {k: v for k, v in state.items() if k not in _CACHE_KEYS}
+        )
 
 
 @dataclass(frozen=True, slots=True)

@@ -249,11 +249,36 @@ def build_parser() -> argparse.ArgumentParser:
         "solve",
         help="run every algorithm on a trace CSV (see repro.trace.io format)",
     )
-    solve.add_argument("trace", help="path to a server,time,items CSV")
+    solve.add_argument(
+        "trace",
+        help="path to a server,time,items CSV (or, with --store, a "
+        "columnar store directory from 'trace convert')",
+    )
     solve.add_argument("--theta", type=float, default=0.3)
     solve.add_argument("--alpha", type=float, default=0.8)
     solve.add_argument("--mu", type=float, default=1.0)
     solve.add_argument("--lam", type=float, default=1.0)
+    solve.add_argument(
+        "--store",
+        action="store_true",
+        help=(
+            "treat TRACE as a memory-mapped columnar store directory "
+            "(written by 'trace convert'); requests are served straight "
+            "off the mapped columns, never materialised"
+        ),
+    )
+    solve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help=(
+            "run Phase 2 through the sharded driver: serving units are "
+            "grouped into K balanced shards (packages never split) and "
+            "each shard dispatches as one unit through the resilient "
+            "dispatcher -- bit-identical costs, out-of-core friendly"
+        ),
+    )
     solve.add_argument(
         "--on-trace-error",
         choices=("raise", "skip"),
@@ -265,6 +290,44 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_engine_flags(solve)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="trace tooling: convert a CSV into a columnar store",
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command")
+    convert = trace_sub.add_parser(
+        "convert",
+        help=(
+            "stream a server,time,items CSV into a memory-mappable "
+            "columnar store directory (solve it with 'solve --store')"
+        ),
+    )
+    convert.add_argument("csv", help="path to a server,time,items CSV")
+    convert.add_argument("store", help="destination store directory")
+    convert.add_argument(
+        "--num-servers",
+        type=_positive_int,
+        default=None,
+        metavar="M",
+        help="server universe size (default: CSV header, else inferred)",
+    )
+    convert.add_argument(
+        "--origin",
+        type=int,
+        default=None,
+        metavar="S",
+        help="origin server id (default: CSV header, else 0)",
+    )
+    convert.add_argument(
+        "--on-error",
+        choices=("raise", "skip"),
+        default="raise",
+        help=(
+            "'raise' (default) aborts on the first malformed row; 'skip' "
+            "drops and counts bad rows"
+        ),
+    )
 
     sched = sub.add_parser(
         "schedule",
@@ -378,12 +441,18 @@ def _solve_trace(args: argparse.Namespace) -> int:
     from .core.baselines import solve_optimal_nonpacking, solve_package_served
     from .core.dp_greedy import solve_dp_greedy
     from .correlation import correlation_stats
-    from .trace.io import load_sequence_report
+    from .trace.io import LoadReport, load_sequence_report
     from .viz import format_table
 
-    seq, load_report = load_sequence_report(
-        args.trace, on_error=args.on_trace_error
-    )
+    if args.store:
+        from .trace.store import TraceStore
+
+        seq = TraceStore.open(args.trace)
+        load_report = LoadReport(rows_total=len(seq), rows_loaded=len(seq))
+    else:
+        seq, load_report = load_sequence_report(
+            args.trace, on_error=args.on_trace_error
+        )
     model = CostModel(mu=args.mu, lam=args.lam)
     print(
         f"trace: {len(seq)} requests, {len(seq.items)} items, "
@@ -423,19 +492,37 @@ def _solve_trace(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
 
-    dpg = solve_dp_greedy(
-        seq,
-        model,
-        theta=args.theta,
-        alpha=args.alpha,
-        similarity=args.similarity,
-        dp_backend=args.dp_backend,
-        workers=args.workers,
-        memo=not args.no_memo,
-        obs=obs,
-        tracer=tracer,
-        resilience=_resilience_from_args(args),
-    )
+    if args.shards is not None:
+        from .engine.sharding import solve_dp_greedy_sharded
+
+        dpg = solve_dp_greedy_sharded(
+            seq,
+            model,
+            theta=args.theta,
+            alpha=args.alpha,
+            shards=args.shards,
+            similarity=args.similarity,
+            dp_backend=args.dp_backend,
+            workers=args.workers,
+            memo=not args.no_memo,
+            obs=obs,
+            tracer=tracer,
+            resilience=_resilience_from_args(args),
+        )
+    else:
+        dpg = solve_dp_greedy(
+            seq,
+            model,
+            theta=args.theta,
+            alpha=args.alpha,
+            similarity=args.similarity,
+            dp_backend=args.dp_backend,
+            workers=args.workers,
+            memo=not args.no_memo,
+            obs=obs,
+            tracer=tracer,
+            resilience=_resilience_from_args(args),
+        )
     opt = solve_optimal_nonpacking(seq, model)
     pkg = solve_package_served(seq, model, theta=args.theta, alpha=args.alpha)
     print(f"packages: {[sorted(p) for p in dpg.plan.packages]}")
@@ -450,6 +537,8 @@ def _solve_trace(args: argparse.Namespace) -> int:
                 f"batched: {es.batches} bucket(s), "
                 f"pad waste {es.pad_waste:.1%}"
             )
+        if es.shards:
+            print(f"sharded: {es.shards} shard(s) over {es.units} unit(s)")
         if es.retries or es.timeouts or es.pool_fallbacks or es.units_failed:
             print(
                 f"resilience: {es.retries} retr(y/ies), {es.timeouts} "
@@ -491,6 +580,34 @@ def _solve_trace(args: argparse.Namespace) -> int:
             f"trace: {dest} ({len(tracer)} spans; open in Perfetto or "
             "chrome://tracing)"
         )
+    return 0
+
+
+def _convert_trace(args: argparse.Namespace) -> int:
+    """Stream a CSV into a columnar store and report what was written."""
+    from .trace.store import TraceStore, convert_csv_to_store
+
+    path, report = convert_csv_to_store(
+        args.csv,
+        args.store,
+        num_servers=args.num_servers,
+        origin=args.origin,
+        on_error=args.on_error,
+    )
+    store = TraceStore(path)
+    size = sum(f.stat().st_size for f in path.iterdir() if f.is_file())
+    print(
+        f"store: {path} ({store.num_requests} requests, "
+        f"{store.num_items} items, {store.num_servers} servers, "
+        f"{size / 1e6:.1f} MB on disk)"
+    )
+    if report.rows_skipped:
+        print(
+            f"convert: skipped {report.rows_skipped}/{report.rows_total} "
+            "malformed row(s)"
+        )
+        for line, message in report.errors[:5]:
+            print(f"  line {line}: {message}")
     return 0
 
 
@@ -542,6 +659,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _render_schedules(args)
     if args.command == "solve":
         return _solve_trace(args)
+    if args.command == "trace":
+        if args.trace_command == "convert":
+            return _convert_trace(args)
+        parser.parse_args(["trace", "--help"])
+        return 1
     if args.command == "report":
         from .experiments.report import run_report
 

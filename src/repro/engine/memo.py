@@ -51,6 +51,13 @@ def fingerprint_view(
     and origin, and the effective rates.  The digest is 16 bytes, cheap
     to compute (one pass over packed bytes) and safe to share across
     processes.
+
+    Dtypes are normalised *before* hashing: views served off a
+    memory-mapped :class:`~repro.trace.store.TraceStore` carry int32
+    server columns, and the ``asarray(..., int64)`` widening here makes
+    their fingerprints byte-identical to in-memory tuple/array views of
+    the same trajectory -- a store-backed solve hits the same memo
+    entries as the in-memory solve of the same trace.
     """
     if isinstance(view, RequestSequence):
         view = view.single_item_view()

@@ -68,6 +68,7 @@ __all__ = [
     "PROCESS_POOL_NODES",
     "BatchResult",
     "EngineStats",
+    "ShardResult",
     "serve_plan",
 ]
 
@@ -80,8 +81,10 @@ AUTO_SERIAL_NODES = 4_096
 PROCESS_POOL_NODES = 16_384
 
 # Unit spec shipped to workers: ("package", (d1, d2, ...)),
-# ("singleton", item), or -- under the batched backend -- a whole
-# length-bucket ("batch", (spec, spec, ...)) solved in one kernel call.
+# ("singleton", item), under the batched backend a whole length-bucket
+# ("batch", (spec, spec, ...)) solved in one kernel call, or -- under
+# sharded dispatch (repro.engine.sharding) -- a whole shard
+# ("shard", (spec, spec, ...)) of units served serially in one worker.
 # Tuples keep pickling cheap and deterministic.
 _UnitSpec = Tuple[str, Union[Tuple[int, ...], int, Tuple]]
 
@@ -116,6 +119,7 @@ class EngineStats:
     units_failed: int = 0  # units dropped under on_unit_error="skip"
     batches: int = 0  # length buckets dispatched through the kernel
     pad_waste: float = 0.0  # padded-slot fraction wasted by bucketing
+    shards: int = 0  # shard dispatches of a sharded solve (0 = unsharded)
     dp_backend: str = "sparse"
 
     @property
@@ -145,6 +149,27 @@ class BatchResult:
         return self.package_cost + math.fsum(self.costs)
 
 
+@dataclass(frozen=True)
+class ShardResult:
+    """Reports of one ``("shard", ...)`` dispatch, in shard-member order.
+
+    Produced by :func:`_solve_shard` for the sharded driver
+    (:mod:`repro.engine.sharding`), which zips the reports back onto the
+    shard's unit indices.  Mirrors :class:`BatchResult`'s contract with
+    the resilience layer: ``package_cost`` plus a ``total`` property, so
+    the finite-cost audit and the chaos corruption hook
+    (:meth:`~repro.engine.chaos.FaultPlan.corrupt_report`) apply to
+    whole shards unchanged.
+    """
+
+    reports: Tuple[GroupReport, ...]
+    package_cost: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.package_cost + math.fsum(r.total for r in self.reports)
+
+
 def _plan_units(plan: PackingPlan) -> List[_UnitSpec]:
     """Serving units in the classic serial order: packages, then singletons."""
     units: List[_UnitSpec] = [
@@ -162,6 +187,8 @@ def _unit_label(spec: _UnitSpec) -> str:
         return "pkg(" + ",".join(str(d) for d in payload) + ")"
     if kind == "batch":
         return f"batch({len(payload)}u@{_unit_label(payload[0])})"
+    if kind == "shard":
+        return f"shard({len(payload)}u@{_unit_label(payload[0])})"
     return f"item({payload})"
 
 
@@ -190,6 +217,47 @@ def _solve_batch(
     return BatchResult(costs=tuple(float(c) for c in costs))
 
 
+def _solve_shard(
+    seq: RequestSequence,
+    specs: Tuple[_UnitSpec, ...],
+    model: CostModel,
+    alpha: float,
+    build_schedules: bool,
+    attribute: bool,
+    dp_backend: str,
+) -> ShardResult:
+    """Serve one shard's units serially inside a single worker.
+
+    Cost-only batched mode buckets the shard's own units through the
+    lockstep kernel (the same scheduling ``serve_plan`` applies
+    globally, here per shard); otherwise every unit runs its individual
+    serve.  Either way the per-unit reports are bit-identical to the
+    unsharded path's.
+    """
+    if dp_backend == "batched" and not build_schedules and not attribute:
+        idxs = list(range(len(specs)))
+        lengths = {i: len(_unit_view(seq, specs[i])) for i in idxs}
+        costs: Dict[int, float] = {}
+        for bucket in length_buckets(idxs, lengths):
+            batch = _solve_batch(
+                seq, tuple(specs[i] for i in bucket), model, alpha
+            )
+            for i, cost in zip(bucket, batch.costs):
+                costs[i] = float(cost)
+        reports = tuple(
+            _assemble_unit_report(seq, specs[i], model, alpha, costs[i])
+            for i in idxs
+        )
+    else:
+        reports = tuple(
+            _serve_unit(
+                seq, spec, model, alpha, build_schedules, attribute, dp_backend
+            )
+            for spec in specs
+        )
+    return ShardResult(reports=reports)
+
+
 def _serve_unit(
     seq: RequestSequence,
     spec: _UnitSpec,
@@ -198,12 +266,16 @@ def _serve_unit(
     build_schedules: bool,
     attribute: bool = False,
     dp_backend: str = "sparse",
-) -> "GroupReport | BatchResult":
+) -> "GroupReport | BatchResult | ShardResult":
     kind, payload = spec
     if kind == "batch":
         # whole bucket in one kernel call; the scheduler only emits
         # batch specs in cost-only mode (no schedules, no attribution)
         return _solve_batch(seq, payload, model, alpha)
+    if kind == "shard":
+        return _solve_shard(
+            seq, payload, model, alpha, build_schedules, attribute, dp_backend
+        )
     if kind == "package":
         return serve_package(
             seq,

@@ -241,6 +241,7 @@ def dispatch_resilient(
     tracer,
     config: ResilienceConfig,
     dp_backend: str = "sparse",
+    on_result=None,
 ) -> Tuple[Dict[int, object], ResilienceCounters]:
     """Serve ``units`` (``index -> spec``) fault-tolerantly.
 
@@ -248,9 +249,15 @@ def dispatch_resilient(
     counters.  ``kind`` is the pool the heuristic picked; broken pools
     degrade down :data:`DEGRADATION_LADDER`, re-dispatching only
     unresolved units.  Specs may include whole ``("batch", ...)``
-    buckets of the batched scheduler: retry, timeout, degradation, the
-    finite-cost audit, and chaos corruption then apply per *bucket*
+    buckets of the batched scheduler or ``("shard", ...)`` shards of
+    the sharded driver: retry, timeout, degradation, the finite-cost
+    audit, and chaos corruption then apply per *dispatch*
     (``units_failed`` counts one per skipped dispatch).
+
+    ``on_result(idx, report)``, when given, fires as each unit's audited
+    result lands -- including results recovered on a degraded rung --
+    and never for skipped units.  The sharded driver uses it to record
+    completed shards into a crash-safe checkpoint as they finish.
     """
     from .parallel import _make_executor, _serve_unit, _unit_label
 
@@ -263,6 +270,11 @@ def dispatch_resilient(
 
     def label(idx: int) -> str:
         return _unit_label(units[idx])
+
+    def record_result(idx: int, report) -> None:
+        results[idx] = report
+        if on_result is not None:
+            on_result(idx, report)
 
     def unresolved():
         return [idx for idx in units if idx not in results and idx not in skipped]
@@ -308,8 +320,9 @@ def dispatch_resilient(
             # last resort: the trusted serial in-parent substrate, with
             # fault injection off (chaos models infrastructure faults).
             try:
-                results[idx] = check_finite(
-                    serial_attempt(idx, n + 1, with_chaos=False), idx
+                record_result(
+                    idx,
+                    check_finite(serial_attempt(idx, n + 1, with_chaos=False), idx),
                 )
                 return
             except Exception as exc:
@@ -351,8 +364,12 @@ def dispatch_resilient(
                 continue
             idx = pending.popleft()
             try:
-                results[idx] = check_finite(
-                    serial_attempt(idx, attempts[idx] + 1, with_chaos=True), idx
+                record_result(
+                    idx,
+                    check_finite(
+                        serial_attempt(idx, attempts[idx] + 1, with_chaos=True),
+                        idx,
+                    ),
                 )
             except Exception as exc:
                 on_failure(idx, exc, backlog)
@@ -441,7 +458,7 @@ def dispatch_resilient(
                     else:
                         report = payload
                     try:
-                        results[idx] = check_finite(report, idx)
+                        record_result(idx, check_finite(report, idx))
                     except _CorruptResult as exc:
                         on_failure(idx, exc, backlog)
                 # deadline sweep: cancel overdue futures still queued;

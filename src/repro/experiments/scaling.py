@@ -57,6 +57,8 @@ def run_scaling(
     history: Optional[Union[str, Path]] = None,
     checkpoint=None,
     resume: bool = False,
+    store: bool = False,
+    store_dir: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Time the DP backends and pre-scan over growing ``n``; fit slopes.
 
@@ -69,6 +71,16 @@ def run_scaling(
     make each completed size point durable and skip recorded ones on
     restart (the large sizes dominate the runtime, so resuming a killed
     sweep saves almost all of it).
+
+    ``store=True`` adds an out-of-core curve: at every size a
+    multi-item workload is written to a columnar
+    :class:`~repro.trace.store.TraceStore` (under ``store_dir``, default
+    a temp directory) and the full sharded DP_Greedy solve is timed
+    straight off the memory-mapped columns
+    (:func:`~repro.engine.sharding.solve_dp_greedy_sharded`), with its
+    total asserted bit-identical to the in-memory
+    :func:`~repro.core.dp_greedy.solve_dp_greedy` at every size.  With
+    ``history=`` the curve lands as a ``scaling.store`` record.
     """
     model = CostModel(mu=1.0, lam=1.0)
     timers = PhaseTimers()
@@ -147,10 +159,57 @@ def run_scaling(
         scan_curve.append((float(n), t_scan))
         result.rows.append(row)
 
+    store_curve = []
+    if store:
+        import tempfile
+
+        from ..core.dp_greedy import solve_dp_greedy
+        from ..engine.sharding import solve_dp_greedy_sharded
+        from ..trace.store import TraceStore, write_store
+        from ..trace.workload import zipf_item_workload
+
+        base = (
+            Path(store_dir)
+            if store_dir is not None
+            else Path(tempfile.mkdtemp(prefix="repro-scaling-store-"))
+        )
+        num_items = max(8, num_servers // 2)
+        for i, n in enumerate(sizes):
+            point = {"n": n, "curve": "store"}
+            cached = ckpt.get(point) if ckpt else None
+            if cached is not None:
+                t_store = cached["t_store"]
+            else:
+                seq = zipf_item_workload(n, num_servers, num_items, seed=seed)
+                sseq = TraceStore.open(write_store(seq, base / f"n{n}"))
+                t_store = time_best_of(
+                    partial(
+                        solve_dp_greedy_sharded, sseq, model,
+                        theta=0.3, alpha=0.8,
+                    ),
+                    repeats=repeats, timers=timers, phase=f"scaling.store.n{n}",
+                )
+                # the store-backed sharded solve must reproduce the
+                # in-memory total bit for bit at every size
+                mem = solve_dp_greedy(seq, model, theta=0.3, alpha=0.8)
+                off = solve_dp_greedy_sharded(sseq, model, theta=0.3, alpha=0.8)
+                if off.total_cost != mem.total_cost:
+                    raise AssertionError(
+                        f"store-backed total mismatch at n={n}: "
+                        f"{off.total_cost!r} != {mem.total_cost!r}"
+                    )
+                if ckpt:
+                    ckpt.record(point, {"t_store": t_store})
+            store_curve.append((float(n), t_store))
+            result.rows[i]["store_seconds"] = round(t_store, 6)
+        result.params["store_items"] = num_items
+
     result.series["optimal DP (sparse frontier, cost only)"] = dp_curve
     result.series["optimal DP (dense sweep, cost only)"] = dense_curve
     result.series["optimal DP (batched kernel, B=1)"] = batched_curve
     result.series["pre-scan build"] = scan_curve
+    if store_curve:
+        result.series["DP_Greedy (store-backed, sharded)"] = store_curve
 
     def slope(curve) -> float:
         xs = np.log([x for x, _ in curve])
@@ -200,5 +259,11 @@ def run_scaling(
             sum(t for _, t in scan_curve),
             {**counters, **{f"n{int(n)}": t for n, t in scan_curve}},
         )
+        if store_curve:
+            recorder.append(
+                "scaling.store",
+                sum(t for _, t in store_curve),
+                {**counters, **{f"n{int(n)}": t for n, t in store_curve}},
+            )
         result.notes.append(f"bench history appended to {history}")
     return result

@@ -88,24 +88,49 @@ class RunObservation:
         ``spans`` (the run's :meth:`~repro.obs.tracing.Tracer.aggregate`
         window) lands in the snapshot's v2 ``spans`` section.
         """
-        index_of = {t: i for i, t in enumerate(seq.times)}
-        if len(index_of) != len(seq.times):
-            seen = set()
-            dupes = sorted(
-                {t for t in seq.times if t in seen or seen.add(t)}
-            )
-            raise ValueError(
-                "sequence violates the at-most-one-request-per-instant "
-                f"assumption: duplicate timestamps {dupes[:5]}"
-                f"{'...' if len(dupes) > 5 else ''} cannot be attributed "
-                "unambiguously"
-            )
+        import numpy as np
+
+        # valid sequences carry strictly increasing times, so the
+        # timestamp -> index translation is a binary search over the
+        # columnar times -- no per-timestamp dict of a (possibly
+        # memory-mapped, multi-million-row) trace.  Anything else
+        # (including sequence-shaped stubs without the columnar
+        # surface) falls back to the dict, which doubles as the
+        # duplicate detector.
+        columnar = getattr(seq, "times_array", None)
+        times_arr = np.asarray(
+            columnar if columnar is not None else tuple(seq.times),
+            dtype=np.float64,
+        )
+        n = len(times_arr)
+        if n == 0 or bool(np.all(np.diff(times_arr) > 0)):
+
+            def index_of(t: float) -> int:
+                i = int(np.searchsorted(times_arr, t))
+                if i >= n or times_arr[i] != t:
+                    raise KeyError(t)
+                return i
+
+        else:
+            table = {t: i for i, t in enumerate(seq.times)}
+            if len(table) != n:
+                seen = set()
+                dupes = sorted(
+                    {t for t in seq.times if t in seen or seen.add(t)}
+                )
+                raise ValueError(
+                    "sequence violates the at-most-one-request-per-instant "
+                    f"assumption: duplicate timestamps {dupes[:5]}"
+                    f"{'...' if len(dupes) > 5 else ''} cannot be attributed "
+                    "unambiguously"
+                )
+            index_of = table.__getitem__
         for rep in reports:
             unit = tuple(sorted(rep.group))
             for t, action, amount in getattr(rep, "attribution", None) or ():
-                self.ledger.record(unit, index_of[t], action, amount)
+                self.ledger.record(unit, index_of(t), action, amount)
             for t, mode, cost in rep.modes:
-                self.ledger.record(unit, index_of[t], _MODE_ACTION[mode], cost)
+                self.ledger.record(unit, index_of(t), _MODE_ACTION[mode], cost)
         self.counters.set("phase2.units", len(reports))
         if engine_stats is not None:
             self.counters.absorb_stats(engine_stats, prefix="engine.")

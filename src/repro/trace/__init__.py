@@ -3,6 +3,13 @@
 from .mobility import TaxiTrace, TaxiTraceConfig, generate_taxi_trace
 from .io import load_sequence, save_sequence, sequence_from_csv, sequence_to_csv
 from .predictor import MarkovZonePredictor, perturb_sequence
+from .store import (
+    STORE_SCHEMA,
+    StoreSequence,
+    TraceStore,
+    convert_csv_to_store,
+    write_store,
+)
 from .workload import (
     correlated_pair_sequence,
     diurnal_workload,
@@ -27,4 +34,9 @@ __all__ = [
     "sequence_from_csv",
     "save_sequence",
     "load_sequence",
+    "STORE_SCHEMA",
+    "TraceStore",
+    "StoreSequence",
+    "convert_csv_to_store",
+    "write_store",
 ]

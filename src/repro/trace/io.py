@@ -76,8 +76,12 @@ def sequence_to_csv(seq: RequestSequence) -> str:
     writer = csv.writer(buf)
     writer.writerow(["server", "time", "items"])
     for r in seq:
-        items = "|".join(str(d) for d in sorted(r.items))
-        writer.writerow([r.server, repr(r.time), items])
+        items = "|".join(str(int(d)) for d in sorted(r.items))
+        # normalise through float()/int(): columnar sequences hand out
+        # numpy scalars, whose repr under numpy>=2 is "np.float64(0.5)"
+        # -- unparseable on reload.  repr(float(t)) is the shortest
+        # round-tripping decimal, so the reload is bit-exact.
+        writer.writerow([int(r.server), repr(float(r.time)), items])
     return buf.getvalue()
 
 
@@ -151,11 +155,15 @@ def sequence_from_csv_report(
             raise ValueError(f"row at t={time} has no items")
         rows.append((line, server, time, items))
 
-    if num_servers is None:
-        if "num_servers" in meta:
-            num_servers = int(meta["num_servers"])
-        else:
-            num_servers = max((s for _l, s, _t, _i in rows), default=0) + 1
+    if num_servers is None and "num_servers" in meta:
+        num_servers = int(meta["num_servers"])
+    if num_servers is None and not skip:
+        num_servers = max((s for _l, s, _t, _i in rows), default=0) + 1
+    # in skip mode with no declared universe, num_servers stays None
+    # through the acceptance loop and is inferred from *accepted* rows
+    # only -- a single dirty row (dropped below for a non-monotone
+    # timestamp or an unparseable field) must not inflate the server
+    # universe and every downstream m-sized DP frontier with it
     if origin is None:
         origin = int(meta.get("origin", 0))
 
@@ -165,7 +173,7 @@ def sequence_from_csv_report(
         if skip:
             # pre-empt the RequestSequence constructor's per-row checks
             # so one dirty row is counted, not fatal
-            if not 0 <= server < num_servers:
+            if num_servers is not None and not 0 <= server < num_servers:
                 report.note(
                     line, f"server {server} outside [0, {num_servers})"
                 )
@@ -185,6 +193,8 @@ def sequence_from_csv_report(
             prev_time = time
         else:
             reqs.append(Request(server, time, items))
+    if num_servers is None:
+        num_servers = max((int(r.server) for r in reqs), default=0) + 1
     report.rows_loaded = len(reqs)
     seq = RequestSequence(tuple(reqs), num_servers=num_servers, origin=origin)
     return seq, report

@@ -223,6 +223,22 @@ class TestColumnarViews:
         assert not any(k.startswith("_") and "cache" in k for k in vars(clone))
         assert list(clone.item_view(1).times) == list(seq.item_view(1).times)
 
+    def test_setstate_strips_foreign_cache_keys(self):
+        """A pickle that *does* carry cache state (a foreign/future
+        producer) must not install it: shipped buffers would alias
+        across processes, so __setstate__ rebuilds locally instead."""
+        seq = self._seq()
+        seq.item_view(1)
+        seq.group_view({1, 2})
+        state = dict(vars(seq))  # includes the populated caches
+        assert any("cache" in k for k in state)
+        clone = RequestSequence.__new__(RequestSequence)
+        clone.__setstate__(state)
+        assert not any(k.startswith("_") and "cache" in k for k in vars(clone))
+        assert list(clone.item_view(1).times) == list(seq.item_view(1).times)
+        # the rebuilt cache is the clone's own, not the donor's
+        assert clone.item_view(1) is not seq.item_view(1)
+
     def test_array_backed_view_solves_identically(self, unit_model):
         from repro.cache.optimal_dp import optimal_cost
 

@@ -182,6 +182,25 @@ class TestScaling:
         assert res.params["prescan_loglog_slope"] < 2.0
         assert res.params["dp_speedup_at_largest_n"] > 0
 
+    def test_store_curve_rides_along(self, tmp_path):
+        # store=True adds a store-backed sharded curve (asserted
+        # bit-identical to the in-memory solver inside the harness),
+        # merged into the same per-size rows and bench history
+        res = run_scaling(
+            sizes=(60, 120), num_servers=8, repeats=1,
+            store=True, store_dir=tmp_path / "stores",
+            history=tmp_path / "hist.jsonl",
+        )
+        assert "DP_Greedy (store-backed, sharded)" in res.series
+        assert all("store_seconds" in row for row in res.rows)
+        import json
+
+        ids = [
+            json.loads(line)["bench"]
+            for line in (tmp_path / "hist.jsonl").read_text().splitlines()
+        ]
+        assert "scaling.store" in ids
+
 
 class TestHarnessMetrics:
     """The --metrics surface of the sweep harnesses (repro.obs)."""

@@ -266,3 +266,60 @@ class TestCheckpointFlags:
             ["run", "fig11", "--quick", "--out", str(out_dir), "--resume"]
         ) == 0
         assert (out_dir / "CHECKPOINT_fig11.jsonl").exists()
+
+
+class TestTraceStoreCommands:
+    def _write_csv(self, tmp_path):
+        from repro.trace import save_sequence, zipf_item_workload
+
+        path = tmp_path / "trace.csv"
+        save_sequence(path, zipf_item_workload(60, 6, 8, seed=4))
+        return path
+
+    def test_convert_writes_a_store(self, tmp_path, capsys):
+        csv_path = self._write_csv(tmp_path)
+        store = tmp_path / "trace.store"
+        assert main(["trace", "convert", str(csv_path), str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "60 requests" in out
+        assert (store / "meta.json").exists()
+
+    def test_convert_skip_mode_reports_rows(self, tmp_path, capsys):
+        csv_path = tmp_path / "dirty.csv"
+        csv_path.write_text("server,time,items\n0,0.5,1\n0,0.4,1\n0,1.0,2\n")
+        store = tmp_path / "dirty.store"
+        argv = ["trace", "convert", str(csv_path), str(store),
+                "--on-error", "skip"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "skipped 1/3" in out
+
+    def test_solve_store_matches_csv_solve(self, tmp_path, capsys):
+        csv_path = self._write_csv(tmp_path)
+        store = tmp_path / "trace.store"
+        assert main(["trace", "convert", str(csv_path), str(store)]) == 0
+        capsys.readouterr()
+        assert main(["solve", str(csv_path)]) == 0
+        ref = capsys.readouterr().out
+        assert main(["solve", str(store), "--store"]) == 0
+        got = capsys.readouterr().out
+        # identical cost table off the mmap-backed store
+        assert got[got.index("DP_Greedy"):] == ref[ref.index("DP_Greedy"):]
+
+    def test_solve_sharded_prints_fanout(self, tmp_path, capsys):
+        csv_path = self._write_csv(tmp_path)
+        store = tmp_path / "trace.store"
+        assert main(["trace", "convert", str(csv_path), str(store)]) == 0
+        capsys.readouterr()
+        argv = ["solve", str(store), "--store", "--shards", "3", "--no-memo"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sharded: 3 shard(s)" in out
+
+    def test_trace_without_action_shows_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_shards_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "x.csv", "--shards", "0"])

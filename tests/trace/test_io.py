@@ -159,3 +159,71 @@ class TestTolerantLoading:
         # and the raise-mode file loader still refuses it
         with pytest.raises(ValueError):
             load_sequence(path)
+
+
+class TestNumpyScalarTimes:
+    def test_numpy_float_times_serialise_parseable(self):
+        """numpy>=2 reprs scalars as np.float64(...); the writer must
+        normalise through float() so the CSV stays parseable."""
+        import numpy as np
+
+        from repro.cache.model import Request, RequestSequence
+
+        times = np.asarray([0.5, 2.0 / 3.0, 1.25])
+        seq = RequestSequence(
+            tuple(
+                Request(0, t, frozenset({1}))
+                for t in times  # numpy scalars on purpose
+            ),
+            num_servers=2,
+        )
+        text = sequence_to_csv(seq)
+        assert "np.float64" not in text
+        back = sequence_from_csv(text)
+        assert [r.time for r in back] == [float(t) for t in times]
+
+    def test_store_backed_sequence_round_trips(self, tmp_path: Path):
+        """A StoreSequence hands out numpy scalars everywhere; its CSV
+        must reload bit-exactly."""
+        from repro.trace.store import TraceStore, write_store
+
+        seq = zipf_item_workload(40, 4, 6, seed=9)
+        sseq = TraceStore.open(write_store(seq, tmp_path / "store"))
+        back = sequence_from_csv(sequence_to_csv(sseq))
+        assert back.requests == seq.requests
+        assert back.num_servers == seq.num_servers
+
+
+class TestSkipModeServerInference:
+    def test_dirty_rows_do_not_inflate_inferred_universe(self):
+        """Regression: without a declared universe, num_servers must be
+        inferred from *accepted* rows only -- a dropped dirty row with a
+        huge server id must not widen every downstream DP frontier."""
+        text = (
+            "server,time,items\n"
+            "0,0.5,1\n"
+            "99,0.4,1\n"   # dropped: non-monotone timestamp
+            "1,1.0,2\n"
+        )
+        seq, report = sequence_from_csv_report(text, on_error="skip")
+        assert report.rows_skipped == 1
+        assert [r.server for r in seq] == [0, 1]
+        assert seq.num_servers == 2  # not 100
+
+    def test_declared_universe_still_bounds_servers(self):
+        text = (
+            "# num_servers=3\n"
+            "server,time,items\n"
+            "0,0.5,1\n"
+            "9,1.0,1\n"    # outside the declared universe: dropped
+        )
+        seq, report = sequence_from_csv_report(text, on_error="skip")
+        assert seq.num_servers == 3
+        assert report.rows_skipped == 1
+        assert "outside" in report.errors[0][1]
+
+    def test_negative_server_still_dropped_without_universe(self):
+        text = "server,time,items\n-1,0.5,1\n0,1.0,1\n"
+        seq, report = sequence_from_csv_report(text, on_error="skip")
+        assert [r.server for r in seq] == [0]
+        assert report.rows_skipped == 1
