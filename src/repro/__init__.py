@@ -38,6 +38,10 @@ Subpackages
     counter registry behind the ``METRICS_*.json`` artefacts.
 """
 
+from . import logutil as _logutil  # installs the NullHandler on "repro"
+
+del _logutil
+
 from .cache import (
     POLICIES,
     CapacityCacheSimulator,
@@ -120,6 +124,7 @@ from .obs import (
     LedgerReconciliationError,
     MetricsCollector,
     RunObservation,
+    Telemetry,
 )
 from .trace import (
     StoreSequence,
@@ -207,6 +212,7 @@ __all__ = [
     "LedgerReconciliationError",
     "RunObservation",
     "MetricsCollector",
+    "Telemetry",
     # extensions
     "HeteroCostModel",
     "hetero_brute_force",

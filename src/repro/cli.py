@@ -15,6 +15,7 @@ report artefacts.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import inspect
 import sys
 from typing import Dict, List, Optional
@@ -29,6 +30,35 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_logging_flags(
+    parser: argparse.ArgumentParser, *, suppress: bool = False
+) -> None:
+    """The stderr-logging knobs, on the root parser and every subcommand.
+
+    Subcommand copies use ``SUPPRESS`` defaults so ``dpgreedy --log-level
+    info solve ...`` and ``dpgreedy solve ... --log-level info`` both
+    work without the subparser's default clobbering the root value.
+    """
+    kwargs = {"default": argparse.SUPPRESS} if suppress else {}
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        **({"default": argparse.SUPPRESS} if suppress else {"default": None}),
+        help=(
+            "stderr logging threshold for the repro.* loggers (default: "
+            "warning -- retries, timeouts, degradations, stalls, and "
+            "chaos injections surface as WARNING records)"
+        ),
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        **kwargs,
+        help="suppress WARNING logs (errors only); overrides --log-level",
+    )
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -120,6 +150,68 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
             "(enables the resilient dispatcher)"
         ),
     )
+    parser.add_argument(
+        "--prom",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the run's telemetry (latency quantiles, resource "
+            "peaks, counters) as Prometheus text format v0.0.4 to PATH "
+            "(implies --metrics; with 'run all' the experiment id is "
+            "appended to the filename)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "paint a live Phase-2 progress line (done/total, in-flight, "
+            "retries, stalls, ETA) on stderr while solving, then print "
+            "the telemetry dashboard (latency quantiles + resource peaks)"
+        ),
+    )
+    parser.add_argument(
+        "--stall-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "flag a dispatched Phase-2 unit as stalled (WARNING log + "
+            "engine.stalls counter) once it has been silent this long -- "
+            "an early-warning tripwire that fires before any "
+            "--unit-timeout abandons the unit"
+        ),
+    )
+
+
+@contextlib.contextmanager
+def _telemetry_session(
+    enabled: bool, stall_after: Optional[float], progress: bool
+):
+    """Install and run a process-wide telemetry hub for the duration.
+
+    Solvers that are not handed an explicit ``telemetry=`` pick the hub
+    up via :func:`repro.obs.telemetry.active`, which is how the CLI
+    flags reach solves buried inside experiment harnesses.  Yields the
+    hub (``None`` when no telemetry flag is set); with ``progress`` a
+    live status line paints on stderr until the session closes.
+    """
+    if not enabled:
+        yield None
+        return
+    from .obs.telemetry import ProgressRenderer, Telemetry, install
+
+    tele = Telemetry(stall_after=stall_after)
+    previous = install(tele)
+    tele.start()
+    renderer = ProgressRenderer(tele).start() if progress else None
+    try:
+        yield tele
+    finally:
+        if renderer is not None:
+            renderer.stop()
+        tele.stop()
+        install(previous)
 
 
 def _resilience_from_args(args: argparse.Namespace):
@@ -196,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Mobile Cloud Services' (CLUSTER 2019)"
         ),
     )
+    _add_logging_flags(parser)
     sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("list", help="list available experiments")
@@ -235,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_engine_flags(run)
+    _add_logging_flags(run, suppress=True)
 
     sub.add_parser("demo", help="run the Section V.C running example")
 
@@ -244,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", default="results", help="output directory")
     rep.add_argument("--quick", action="store_true", help="reduced sizes")
     _add_engine_flags(rep)
+    _add_logging_flags(rep, suppress=True)
 
     solve = sub.add_parser(
         "solve",
@@ -290,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_engine_flags(solve)
+    _add_logging_flags(solve, suppress=True)
 
     trace_cmd = sub.add_parser(
         "trace",
@@ -385,11 +481,15 @@ def _run_one(
     checkpoint=None,
     resume: bool = False,
     dp_backend: Optional[str] = None,
+    prom: Optional[str] = None,
+    progress: bool = False,
+    stall_after: Optional[float] = None,
 ) -> int:
     fn = ALL_EXPERIMENTS.get(name)
     if fn is None:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
+    metrics = metrics or prom is not None  # exposition needs a snapshot
     kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
     kwargs.update(
         _engine_kwargs(
@@ -405,8 +505,19 @@ def _run_one(
             dp_backend=dp_backend,
         )
     )
-    result = fn(**kwargs)
+    telemetry_on = metrics or progress or stall_after is not None
+    with _telemetry_session(telemetry_on, stall_after, progress) as tele:
+        result = fn(**kwargs)
+    if prom is not None and result.metrics is not None:
+        from .obs.telemetry import render_prometheus
+
+        result.prom = render_prometheus(result.metrics)
     print(result.report())
+    if progress and tele is not None:
+        from .obs.telemetry import render_dashboard
+
+        print()
+        print(render_dashboard(tele))
     if out is None and result.metrics is not None:
         # --metrics promises a METRICS_*.json artefact even without --out.
         out = "results"
@@ -432,6 +543,17 @@ def _run_one(
             )
             events = len(result.trace.get("traceEvents", ()))
             print(f"trace: {dest} ({events} events; open in Perfetto)")
+    if prom is not None:
+        if result.metrics is None:
+            print(f"note: {name} does not expose metrics; no prometheus file written")
+        else:
+            from .obs.telemetry import write_prometheus
+
+            dest = write_prometheus(
+                result.metrics,
+                _trace_destination(prom, result.experiment_id, multi_trace),
+            )
+            print(f"prometheus: {dest}")
     return 0
 
 
@@ -477,6 +599,8 @@ def _solve_trace(args: argparse.Namespace) -> int:
 
     obs = None
     collector = None
+    if args.prom is not None:
+        args.metrics = True  # exposition needs a metrics snapshot
     if args.metrics:
         from .obs import MetricsCollector
 
@@ -492,37 +616,45 @@ def _solve_trace(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
 
-    if args.shards is not None:
-        from .engine.sharding import solve_dp_greedy_sharded
+    telemetry_on = (
+        args.metrics or args.progress or args.stall_after is not None
+    )
+    with _telemetry_session(
+        telemetry_on, args.stall_after, args.progress
+    ) as tele:
+        if args.shards is not None:
+            from .engine.sharding import solve_dp_greedy_sharded
 
-        dpg = solve_dp_greedy_sharded(
-            seq,
-            model,
-            theta=args.theta,
-            alpha=args.alpha,
-            shards=args.shards,
-            similarity=args.similarity,
-            dp_backend=args.dp_backend,
-            workers=args.workers,
-            memo=not args.no_memo,
-            obs=obs,
-            tracer=tracer,
-            resilience=_resilience_from_args(args),
-        )
-    else:
-        dpg = solve_dp_greedy(
-            seq,
-            model,
-            theta=args.theta,
-            alpha=args.alpha,
-            similarity=args.similarity,
-            dp_backend=args.dp_backend,
-            workers=args.workers,
-            memo=not args.no_memo,
-            obs=obs,
-            tracer=tracer,
-            resilience=_resilience_from_args(args),
-        )
+            dpg = solve_dp_greedy_sharded(
+                seq,
+                model,
+                theta=args.theta,
+                alpha=args.alpha,
+                shards=args.shards,
+                similarity=args.similarity,
+                dp_backend=args.dp_backend,
+                workers=args.workers,
+                memo=not args.no_memo,
+                obs=obs,
+                tracer=tracer,
+                resilience=_resilience_from_args(args),
+                telemetry=tele,
+            )
+        else:
+            dpg = solve_dp_greedy(
+                seq,
+                model,
+                theta=args.theta,
+                alpha=args.alpha,
+                similarity=args.similarity,
+                dp_backend=args.dp_backend,
+                workers=args.workers,
+                memo=not args.no_memo,
+                obs=obs,
+                tracer=tracer,
+                resilience=_resilience_from_args(args),
+                telemetry=tele,
+            )
     opt = solve_optimal_nonpacking(seq, model)
     pkg = solve_package_served(seq, model, theta=args.theta, alpha=args.alpha)
     print(f"packages: {[sorted(p) for p in dpg.plan.packages]}")
@@ -545,6 +677,8 @@ def _solve_trace(args: argparse.Namespace) -> int:
                 f"timeout(s), {es.pool_fallbacks} pool fallback(s), "
                 f"{es.units_failed} unit(s) skipped"
             )
+        if es.stalls:
+            print(f"watchdog: {es.stalls} stall(s) flagged")
     print()
     print(format_table([
         {"algorithm": "DP_Greedy", "total_cost": dpg.total_cost,
@@ -554,6 +688,11 @@ def _solve_trace(args: argparse.Namespace) -> int:
         {"algorithm": "Package_Served", "total_cost": pkg.total_cost,
          "ave_cost": pkg.ave_cost},
     ]))
+    if args.progress and tele is not None:
+        from .obs.telemetry import render_dashboard
+
+        print()
+        print(render_dashboard(tele))
     if collector is not None:
         from .obs import write_metrics
 
@@ -569,11 +708,17 @@ def _solve_trace(args: argparse.Namespace) -> int:
                 for name, rec in obs.timers.snapshot().items()
             )
         )
-        path = write_metrics(collector.snapshot(), "results/METRICS_solve.json")
+        snap = collector.snapshot()
+        path = write_metrics(snap, "results/METRICS_solve.json")
         print(
             f"metrics: {path} (reconciliation error "
             f"{obs.reconciliation_error:.2e})"
         )
+        if args.prom is not None:
+            from .obs.telemetry import write_prometheus
+
+            dest = write_prometheus(snap, args.prom)
+            print(f"prometheus: {dest}")
     if tracer is not None:
         dest = tracer.write(args.trace_out)
         print(
@@ -649,6 +794,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    from .logutil import configure_cli_logging
+
+    configure_cli_logging(args.log_level, quiet=args.quiet)
+
     if args.command == "list":
         for name in ALL_EXPERIMENTS:
             print(name)
@@ -667,17 +816,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from .experiments.report import run_report
 
-        path = run_report(
-            args.out,
-            quick=args.quick,
-            workers=args.workers,
-            memo=not args.no_memo,
-            metrics=args.metrics,
-            trace=args.trace_out is not None,
-            similarity=args.similarity,
-            resilience=_resilience_from_args(args),
-            dp_backend=args.dp_backend,
+        telemetry_on = (
+            args.metrics
+            or args.prom is not None
+            or args.progress
+            or args.stall_after is not None
         )
+        with _telemetry_session(
+            telemetry_on, args.stall_after, args.progress
+        ):
+            path = run_report(
+                args.out,
+                quick=args.quick,
+                workers=args.workers,
+                memo=not args.no_memo,
+                metrics=args.metrics,
+                trace=args.trace_out is not None,
+                similarity=args.similarity,
+                resilience=_resilience_from_args(args),
+                dp_backend=args.dp_backend,
+                prom=args.prom is not None,
+            )
         print(f"report written to {path}")
         return 0
     if args.command == "run":
@@ -699,6 +858,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         resilience=resilience,
                         checkpoint=checkpoint, resume=args.resume,
                         dp_backend=args.dp_backend,
+                        prom=args.prom, progress=args.progress,
+                        stall_after=args.stall_after,
                     ),
                 )
                 print()
@@ -709,6 +870,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             resilience=resilience,
             checkpoint=checkpoint, resume=args.resume,
             dp_backend=args.dp_backend,
+            prom=args.prom, progress=args.progress,
+            stall_after=args.stall_after,
         )
 
     parser.print_help()

@@ -32,6 +32,7 @@ The reported metric is ``ave_cost`` -- the total cost divided by
 
 from __future__ import annotations
 
+import time as _time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -401,6 +402,7 @@ def solve_dp_greedy(
     tracer: "object | None" = None,
     resilience: "object | bool | None" = None,
     dp_backend: str = "sparse",
+    telemetry: "object | None" = None,
 ) -> DPGreedyResult:
     """Run the full two-phase DP_Greedy algorithm on ``seq``.
 
@@ -472,7 +474,20 @@ def solve_dp_greedy(
         ``"batched"`` implies the execution engine, whose scheduler
         buckets memo-miss units by length and solves whole buckets per
         dispatch; all backends produce bit-identical costs.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` hub (``None``
+        picks up any process-wide hub installed via
+        :func:`repro.obs.telemetry.install`, e.g. by the CLI's
+        ``--progress``/``--prom`` flags).  Per-unit Phase-2 solve
+        latencies land in its log-bucket histograms (p50/p90/p99 in
+        METRICS v3), unit completions in its progress board, and -- on
+        the engine paths -- pool workers ship resource peaks back.  An
+        un-started hub is started for the duration of this solve; a
+        started one is left running.  Strictly observation-only: costs,
+        plans, and reports are bit-identical with or without it.
     """
+    from ..obs.telemetry import H_SOLVE, active as _active_telemetry
+
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
     if dp_backend not in ("sparse", "dense", "batched"):
@@ -483,7 +498,33 @@ def solve_dp_greedy(
     observe = obs is not None
     timed = obs.timers.time if observe else _null_timer
     span_mark = tracer.mark() if tracer is not None else 0
+    tele = telemetry if telemetry is not None else _active_telemetry()
+    tele_owned = tele is not None and not tele.started
+    if tele_owned:
+        tele.start()
+    if tele is not None:
+        tele.begin_run()
+    try:
+        return _solve_dp_greedy_observed(
+            seq, model, theta=theta, alpha=alpha, packing=packing,
+            max_group_size=max_group_size, similarity=similarity,
+            build_schedules=build_schedules, plan=plan, parallel=parallel,
+            workers=workers, memo=memo, pool=pool, obs=obs, tracer=tracer,
+            resilience=resilience, dp_backend=dp_backend, tele=tele,
+            observe=observe, timed=timed, span_mark=span_mark,
+            h_solve=H_SOLVE,
+        )
+    finally:
+        if tele_owned:
+            tele.stop()
 
+
+def _solve_dp_greedy_observed(
+    seq, model, *, theta, alpha, packing, max_group_size, similarity,
+    build_schedules, plan, parallel, workers, memo, pool, obs, tracer,
+    resilience, dp_backend, tele, observe, timed, span_mark, h_solve,
+) -> DPGreedyResult:
+    """The body of :func:`solve_dp_greedy`, inside the telemetry window."""
     with timed("phase1.similarity"), maybe_span(
         tracer, "phase1.similarity", cat="phase1", backend=similarity
     ):
@@ -547,16 +588,23 @@ def solve_dp_greedy(
                 tracer=tracer,
                 resilience=resilience,
                 dp_backend=dp_backend,
+                telemetry=tele,
             )
     else:
         reports = []
+        if tele is not None:
+            tele.board.begin(len(plan.packages) + len(plan.singletons))
         with maybe_span(tracer, "phase2.serve", cat="phase2", engine="serial"):
             for pkg in plan.packages:
+                label = "pkg(" + ",".join(str(d) for d in sorted(pkg)) + ")"
+                if tele is not None:
+                    tele.board.unit_started(label)
+                    t0 = _time.perf_counter()
                 with timed("phase2.serve"), maybe_span(
                     tracer,
                     "phase2.solve",
                     cat="phase2",
-                    unit="pkg(" + ",".join(str(d) for d in sorted(pkg)) + ")",
+                    unit=label,
                     kind="package",
                 ):
                     reports.append(
@@ -570,12 +618,19 @@ def solve_dp_greedy(
                             dp_backend=dp_backend,
                         )
                     )
+                if tele is not None:
+                    tele.record(h_solve, _time.perf_counter() - t0)
+                    tele.board.unit_finished(label)
             for d in plan.singletons:
+                label = f"item({d})"
+                if tele is not None:
+                    tele.board.unit_started(label)
+                    t0 = _time.perf_counter()
                 with timed("phase2.serve"), maybe_span(
                     tracer,
                     "phase2.solve",
                     cat="phase2",
-                    unit=f"item({d})",
+                    unit=label,
                     kind="singleton",
                 ):
                     reports.append(
@@ -588,6 +643,9 @@ def solve_dp_greedy(
                             dp_backend=dp_backend,
                         )
                     )
+                if tele is not None:
+                    tele.record(h_solve, _time.perf_counter() - t0)
+                    tele.board.unit_finished(label)
 
     total = sum(r.total for r in reports)
     if observe:
@@ -598,6 +656,7 @@ def solve_dp_greedy(
             engine_stats=engine_stats,
             memo=memo_obj,
             spans=tracer.aggregate(since=span_mark) if tracer is not None else None,
+            telemetry=tele,
         )
     return DPGreedyResult(
         plan=plan,

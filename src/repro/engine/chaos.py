@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import math
 import os
 import time
@@ -51,6 +52,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ReproError
+
+log = logging.getLogger(__name__)
 
 __all__ = ["CHAOS_ENV", "ChaosError", "FaultPlan", "chaos_from_env"]
 
@@ -157,6 +160,10 @@ class FaultPlan:
         kind = self.fault_for(unit, attempt)
         if kind is None:
             return False
+        log.warning(
+            "chaos: injecting %s [unit=%s attempt=%d subprocess=%s]",
+            kind, unit, attempt, in_subprocess,
+        )
         if kind == "kill" and in_subprocess:
             os._exit(17)
         if kind in ("crash", "kill"):

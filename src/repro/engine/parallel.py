@@ -47,6 +47,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
@@ -60,6 +61,8 @@ from ..cache.model import (
 )
 from ..correlation.packing import PackingPlan
 from ..core.dp_greedy import GroupReport, serve_package, serve_singleton
+from ..obs import telemetry as _telemetry
+from ..obs.telemetry import Telemetry, UnitRecorder
 from ..obs.tracing import Tracer, maybe_span
 from .memo import SolverMemo, fingerprint_view
 
@@ -117,6 +120,7 @@ class EngineStats:
     timeouts: int = 0  # per-unit deadline expiries
     pool_fallbacks: int = 0  # degradation-ladder steps taken
     units_failed: int = 0  # units dropped under on_unit_error="skip"
+    stalls: int = 0  # dispatches flagged silent by the stall watchdog
     batches: int = 0  # length buckets dispatched through the kernel
     pad_waste: float = 0.0  # padded-slot fraction wasted by bucketing
     shards: int = 0  # shard dispatches of a sharded solve (0 = unsharded)
@@ -225,6 +229,7 @@ def _solve_shard(
     build_schedules: bool,
     attribute: bool,
     dp_backend: str,
+    recorder: "object | None" = None,
 ) -> ShardResult:
     """Serve one shard's units serially inside a single worker.
 
@@ -232,16 +237,21 @@ def _solve_shard(
     lockstep kernel (the same scheduling ``serve_plan`` applies
     globally, here per shard); otherwise every unit runs its individual
     serve.  Either way the per-unit reports are bit-identical to the
-    unsharded path's.
+    unsharded path's.  ``recorder`` (the latency-sink protocol of
+    :mod:`repro.obs.telemetry`) receives per-bucket / per-inner-unit
+    solve latencies.
     """
     if dp_backend == "batched" and not build_schedules and not attribute:
         idxs = list(range(len(specs)))
         lengths = {i: len(_unit_view(seq, specs[i])) for i in idxs}
         costs: Dict[int, float] = {}
         for bucket in length_buckets(idxs, lengths):
+            t0 = time.perf_counter() if recorder is not None else 0.0
             batch = _solve_batch(
                 seq, tuple(specs[i] for i in bucket), model, alpha
             )
+            if recorder is not None:
+                recorder.record(_telemetry.H_BATCH, time.perf_counter() - t0)
             for i, cost in zip(bucket, batch.costs):
                 costs[i] = float(cost)
         reports = tuple(
@@ -251,7 +261,8 @@ def _solve_shard(
     else:
         reports = tuple(
             _serve_unit(
-                seq, spec, model, alpha, build_schedules, attribute, dp_backend
+                seq, spec, model, alpha, build_schedules, attribute,
+                dp_backend, recorder=recorder,
             )
             for spec in specs
         )
@@ -266,18 +277,30 @@ def _serve_unit(
     build_schedules: bool,
     attribute: bool = False,
     dp_backend: str = "sparse",
+    *,
+    recorder: "object | None" = None,
 ) -> "GroupReport | BatchResult | ShardResult":
     kind, payload = spec
     if kind == "batch":
         # whole bucket in one kernel call; the scheduler only emits
         # batch specs in cost-only mode (no schedules, no attribution)
-        return _solve_batch(seq, payload, model, alpha)
+        t0 = time.perf_counter() if recorder is not None else 0.0
+        batch = _solve_batch(seq, payload, model, alpha)
+        if recorder is not None:
+            recorder.record(_telemetry.H_BATCH, time.perf_counter() - t0)
+        return batch
     if kind == "shard":
-        return _solve_shard(
-            seq, payload, model, alpha, build_schedules, attribute, dp_backend
+        t0 = time.perf_counter() if recorder is not None else 0.0
+        shard = _solve_shard(
+            seq, payload, model, alpha, build_schedules, attribute,
+            dp_backend, recorder=recorder,
         )
+        if recorder is not None:
+            recorder.record(_telemetry.H_SHARD, time.perf_counter() - t0)
+        return shard
+    t0 = time.perf_counter() if recorder is not None else 0.0
     if kind == "package":
-        return serve_package(
+        report = serve_package(
             seq,
             frozenset(payload),
             model,
@@ -286,14 +309,18 @@ def _serve_unit(
             attribute=attribute,
             dp_backend=dp_backend,
         )
-    return serve_singleton(
-        seq,
-        payload,
-        model,
-        build_schedule=build_schedules,
-        attribute=attribute,
-        dp_backend=dp_backend,
-    )
+    else:
+        report = serve_singleton(
+            seq,
+            payload,
+            model,
+            build_schedule=build_schedules,
+            attribute=attribute,
+            dp_backend=dp_backend,
+        )
+    if recorder is not None:
+        recorder.record(_telemetry.H_SOLVE, time.perf_counter() - t0)
+    return report
 
 
 def _assemble_unit_report(
@@ -328,44 +355,77 @@ def _init_worker(
     attribute: bool,
     trace: bool = False,
     dp_backend: str = "sparse",
+    telemetry: bool = False,
 ) -> None:
     global _WORKER_ARGS, _WORKER_TRACER
-    _WORKER_ARGS = (seq, model, alpha, build_schedules, attribute, dp_backend)
+    _WORKER_ARGS = (
+        seq, model, alpha, build_schedules, attribute, dp_backend, telemetry
+    )
     _WORKER_TRACER = Tracer() if trace else None
+    # under fork the worker inherits the parent's installed telemetry
+    # hub; its sampler/watchdog threads did not survive the fork, so
+    # clear it -- workers record through an explicit UnitRecorder and
+    # ship stats back instead.
+    _telemetry.install(None)
 
 
 def _serve_unit_in_worker(spec: _UnitSpec) -> "GroupReport | BatchResult":
-    seq, model, alpha, build_schedules, attribute, dp_backend = _WORKER_ARGS
+    seq, model, alpha, build_schedules, attribute, dp_backend, _ = _WORKER_ARGS
     return _serve_unit(
         seq, spec, model, alpha, build_schedules, attribute, dp_backend
     )
 
 
+def _serve_unit_in_worker_telemetry(spec: _UnitSpec):
+    """Telemetry variant: returns ``(report, WorkerUnitStats)``.
+
+    The worker times the solve into a local :class:`UnitRecorder` and
+    ships the latency entries plus its own ``getrusage`` peaks back with
+    the result for the parent hub to absorb."""
+    seq, model, alpha, build_schedules, attribute, dp_backend, _ = _WORKER_ARGS
+    recorder = UnitRecorder()
+    report = _serve_unit(
+        seq, spec, model, alpha, build_schedules, attribute, dp_backend,
+        recorder=recorder,
+    )
+    return report, recorder.unit_stats()
+
+
 def _serve_unit_in_worker_traced(spec: _UnitSpec):
-    """Traced variant: returns ``(report, spans)``.
+    """Traced variant: returns ``(report, spans, stats_or_None)``.
 
     The worker records the solve into its process-local tracer and ships
     the new records back with the result; their wall-anchored timestamps
     and real pid/tid merge directly into the parent trace (see
-    :mod:`repro.obs.tracing` for the clock model).
+    :mod:`repro.obs.tracing` for the clock model).  With telemetry also
+    enabled the third element carries the :class:`WorkerUnitStats`.
     """
-    seq, model, alpha, build_schedules, attribute, dp_backend = _WORKER_ARGS
+    (seq, model, alpha, build_schedules, attribute, dp_backend,
+     telemetry) = _WORKER_ARGS
+    recorder = UnitRecorder() if telemetry else None
     tracer = _WORKER_TRACER
     if tracer is None:  # pragma: no cover - defensive; init always ran
         return (
             _serve_unit(
-                seq, spec, model, alpha, build_schedules, attribute, dp_backend
+                seq, spec, model, alpha, build_schedules, attribute,
+                dp_backend, recorder=recorder,
             ),
             (),
+            recorder.unit_stats() if recorder is not None else None,
         )
     mark = tracer.mark()
     with tracer.span(
         "phase2.solve", cat="phase2", unit=_unit_label(spec), kind=spec[0]
     ):
         report = _serve_unit(
-            seq, spec, model, alpha, build_schedules, attribute, dp_backend
+            seq, spec, model, alpha, build_schedules, attribute, dp_backend,
+            recorder=recorder,
         )
-    return report, tracer.records(since=mark)
+    return (
+        report,
+        tracer.records(since=mark),
+        recorder.unit_stats() if recorder is not None else None,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -497,6 +557,7 @@ def _make_executor(
     attribute: bool,
     trace: bool = False,
     dp_backend: str = "sparse",
+    telemetry: bool = False,
 ) -> Executor:
     if kind == "thread":
         return ThreadPoolExecutor(max_workers=workers)
@@ -505,7 +566,10 @@ def _make_executor(
         max_workers=workers,
         mp_context=ctx,
         initializer=_init_worker,
-        initargs=(seq, model, alpha, build_schedules, attribute, trace, dp_backend),
+        initargs=(
+            seq, model, alpha, build_schedules, attribute, trace, dp_backend,
+            telemetry,
+        ),
     )
 
 
@@ -523,6 +587,7 @@ def serve_plan(
     tracer: Optional[Tracer] = None,
     resilience: "object | bool | None" = None,
     dp_backend: str = "sparse",
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[List[GroupReport], EngineStats]:
     """Serve every unit of ``plan``; return reports in serial order.
 
@@ -575,6 +640,14 @@ def serve_plan(
         every unit solves individually through
         ``solve_optimal(backend="batched")`` (the kernel is cost-only).
         All backends produce bit-identical reports.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` hub.  Per-unit
+        solve latency, per-bucket kernel latency, and dispatch/backoff
+        latency land in its histograms; dispatch progress (including
+        pool-worker completions) feeds its :class:`ProgressBoard`, and
+        process workers ship their ``getrusage`` peaks back for
+        :meth:`~repro.obs.telemetry.Telemetry.absorb_worker`.  Strictly
+        observation-only: reports are bit-identical with or without it.
     """
     from .resilience import ResilienceConfig
 
@@ -637,6 +710,13 @@ def serve_plan(
         workers, pending_nodes, len(dispatch_specs), pool
     )
 
+    tele = telemetry
+    stalls_before = tele.board.stalls if tele is not None else 0
+    if tele is not None and dispatch_specs and resil is None:
+        # the resilient dispatcher announces its own units (it is also
+        # entered directly by the sharded driver)
+        tele.board.begin(len(dispatch_specs))
+
     resolved: Dict[int, object] = {}
     res_counters = None
     if resil is not None:
@@ -664,19 +744,26 @@ def serve_plan(
                 tracer=tracer,
                 config=resil,
                 dp_backend=dp_backend,
+                telemetry=tele,
             )
     elif kind == "serial":
         for pos, spec in enumerate(dispatch_specs):
+            label = _unit_label(spec)
+            if tele is not None:
+                tele.board.unit_started(label)
             with maybe_span(
                 tracer,
                 "phase2.solve",
                 cat="phase2",
-                unit=_unit_label(spec),
+                unit=label,
                 kind=spec[0],
             ):
                 resolved[pos] = _serve_unit(
-                    seq, spec, model, alpha, build_schedules, attribute, dp_backend
+                    seq, spec, model, alpha, build_schedules, attribute,
+                    dp_backend, recorder=tele,
                 )
+            if tele is not None:
+                tele.board.unit_finished(label)
     else:
         chunksize = max(1, len(dispatch_specs) // (4 * workers_used))
         trace = tracer is not None
@@ -691,24 +778,32 @@ def serve_plan(
         ):
             with _make_executor(
                 kind, workers_used, seq, model, alpha, build_schedules,
-                attribute, trace, dp_backend,
+                attribute, trace, dp_backend, tele is not None,
             ) as ex:
                 if kind == "thread":
 
                     def _serve_traced(spec: _UnitSpec):
                         # worker threads record straight into the shared
-                        # tracer; each span stamps its own tid
-                        with maybe_span(
-                            tracer,
-                            "phase2.solve",
-                            cat="phase2",
-                            unit=_unit_label(spec),
-                            kind=spec[0],
-                        ):
-                            return _serve_unit(
-                                seq, spec, model, alpha, build_schedules,
-                                attribute, dp_backend,
-                            )
+                        # tracer/telemetry hub (both are thread-safe);
+                        # each span stamps its own tid
+                        label = _unit_label(spec)
+                        if tele is not None:
+                            tele.board.unit_started(label)
+                        try:
+                            with maybe_span(
+                                tracer,
+                                "phase2.solve",
+                                cat="phase2",
+                                unit=label,
+                                kind=spec[0],
+                            ):
+                                return _serve_unit(
+                                    seq, spec, model, alpha, build_schedules,
+                                    attribute, dp_backend, recorder=tele,
+                                )
+                        finally:
+                            if tele is not None:
+                                tele.board.unit_finished(label)
 
                     results = ex.map(_serve_traced, dispatch_specs)
                     for pos, report in enumerate(results):
@@ -719,9 +814,24 @@ def serve_plan(
                         dispatch_specs,
                         chunksize=chunksize,
                     )
-                    for pos, (report, spans) in enumerate(results):
+                    for pos, (report, spans, wstats) in enumerate(results):
                         resolved[pos] = report
                         tracer.extend(spans)
+                        if tele is not None:
+                            tele.absorb_worker(wstats)
+                            tele.board.unit_finished(
+                                _unit_label(dispatch_specs[pos])
+                            )
+                elif tele is not None:
+                    results = ex.map(
+                        _serve_unit_in_worker_telemetry,
+                        dispatch_specs,
+                        chunksize=chunksize,
+                    )
+                    for pos, (report, wstats) in enumerate(results):
+                        resolved[pos] = report
+                        tele.absorb_worker(wstats)
+                        tele.board.unit_finished(_unit_label(dispatch_specs[pos]))
                 else:
                     results = ex.map(
                         _serve_unit_in_worker, dispatch_specs, chunksize=chunksize
@@ -767,6 +877,7 @@ def serve_plan(
         timeouts=res_counters.timeouts if res_counters else 0,
         pool_fallbacks=res_counters.pool_fallbacks if res_counters else 0,
         units_failed=res_counters.units_failed if res_counters else 0,
+        stalls=(tele.board.stalls - stalls_before) if tele is not None else 0,
         batches=len(buckets),
         pad_waste=waste,
         dp_backend=dp_backend,

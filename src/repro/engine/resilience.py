@@ -57,6 +57,7 @@ backend so all of the above is provable under test.
 from __future__ import annotations
 
 import heapq
+import logging
 import math
 import random
 import time
@@ -66,8 +67,13 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import PoolBrokenError, ReproError, UnitSolveError, UnitTimeoutError
+from ..logutil import new_run_id
+from ..obs import telemetry as _telemetry
+from ..obs.telemetry import Telemetry, UnitRecorder
 from ..obs.tracing import maybe_span
 from .chaos import FaultPlan, chaos_from_env
+
+log = logging.getLogger(__name__)
 
 __all__ = ["ResilienceConfig", "ResilienceCounters", "dispatch_resilient"]
 
@@ -196,17 +202,21 @@ def _serve_unit_attempt_in_worker(spec, attempt, plan, trace):
 
     Mirrors ``parallel._serve_unit_in_worker_traced`` but threads the
     attempt number and the fault plan through; always returns
-    ``(report, spans)`` so the parent has one collection path.
+    ``(report, spans, stats_or_None)`` so the parent has one collection
+    path (``stats`` carries the worker's latency entries and resource
+    peaks when telemetry is on).
     """
     from . import parallel
 
-    seq, model, alpha, build_schedules, attribute, dp_backend = parallel._WORKER_ARGS
+    (seq, model, alpha, build_schedules, attribute, dp_backend,
+     telemetry) = parallel._WORKER_ARGS
     label = parallel._unit_label(spec)
     corrupt = (
         plan.before_solve(label, attempt, in_subprocess=True)
         if plan is not None
         else False
     )
+    recorder = UnitRecorder() if telemetry else None
     tracer = parallel._WORKER_TRACER if trace else None
     mark = tracer.mark() if tracer is not None else 0
     with maybe_span(
@@ -214,11 +224,16 @@ def _serve_unit_attempt_in_worker(spec, attempt, plan, trace):
         attempt=attempt,
     ):
         report = parallel._serve_unit(
-            seq, spec, model, alpha, build_schedules, attribute, dp_backend
+            seq, spec, model, alpha, build_schedules, attribute, dp_backend,
+            recorder=recorder,
         )
     if corrupt:
         report = FaultPlan.corrupt_report(report)
-    return report, (tracer.records(since=mark) if tracer is not None else ())
+    return (
+        report,
+        (tracer.records(since=mark) if tracer is not None else ()),
+        recorder.unit_stats() if recorder is not None else None,
+    )
 
 
 def _backoff_delay(config: ResilienceConfig, retry_no: int, rng: random.Random) -> float:
@@ -242,6 +257,7 @@ def dispatch_resilient(
     config: ResilienceConfig,
     dp_backend: str = "sparse",
     on_result=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[Dict[int, object], ResilienceCounters]:
     """Serve ``units`` (``index -> spec``) fault-tolerantly.
 
@@ -258,6 +274,15 @@ def dispatch_resilient(
     result lands -- including results recovered on a degraded rung --
     and never for skipped units.  The sharded driver uses it to record
     completed shards into a crash-safe checkpoint as they finish.
+
+    ``telemetry`` plugs the dispatch into the runtime telemetry plane:
+    dispatch roundtrips and backoff delays land in its histograms,
+    completions/retries/degradations in its :class:`ProgressBoard` (the
+    stall watchdog flags silent in-flight units via the same board),
+    and process workers ship latency entries + resource peaks back.
+    Every retry/timeout/degradation/skip also emits a WARNING-level
+    ``repro.engine.resilience`` log record tagged with a per-dispatch
+    run id.
     """
     from .parallel import _make_executor, _serve_unit, _unit_label
 
@@ -267,12 +292,19 @@ def dispatch_resilient(
     attempts: Dict[int, int] = {idx: 0 for idx in units}  # failed tries so far
     results: Dict[int, object] = {}
     skipped: set = set()
+    run_id = new_run_id()
+    tele = telemetry
+    board = tele.board if tele is not None else None
+    if board is not None and units:
+        board.begin(len(units))
 
     def label(idx: int) -> str:
         return _unit_label(units[idx])
 
     def record_result(idx: int, report) -> None:
         results[idx] = report
+        if board is not None:
+            board.unit_finished(label(idx), ok=True)
         if on_result is not None:
             on_result(idx, report)
 
@@ -288,6 +320,8 @@ def dispatch_resilient(
 
     def serial_attempt(idx: int, attempt: int, with_chaos: bool):
         spec = units[idx]
+        if board is not None:
+            board.unit_started(label(idx))
         corrupt = (
             plan.before_solve(label(idx), attempt, in_subprocess=False)
             if with_chaos and plan is not None
@@ -298,7 +332,8 @@ def dispatch_resilient(
             kind=spec[0], attempt=attempt,
         ):
             report = _serve_unit(
-                seq, spec, model, alpha, build_schedules, attribute, dp_backend
+                seq, spec, model, alpha, build_schedules, attribute,
+                dp_backend, recorder=tele,
             )
         if corrupt:
             report = FaultPlan.corrupt_report(report)
@@ -310,6 +345,12 @@ def dispatch_resilient(
         if config.on_unit_error == "skip":
             skipped.add(idx)
             counters.units_failed += 1
+            log.warning(
+                "unit failed [run=%s unit=%s attempts=%d]: dropped "
+                "(on_unit_error=skip)", run_id, label(idx), n,
+            )
+            if board is not None:
+                board.unit_finished(label(idx), ok=False)
             with maybe_span(
                 tracer, "engine.unit_failed", cat="engine", unit=label(idx),
                 attempts=n,
@@ -346,6 +387,14 @@ def dispatch_resilient(
             ):
                 pass
             delay = _backoff_delay(config, attempts[idx], rng)
+            log.warning(
+                "retrying [run=%s unit=%s attempt=%d reason=%s backoff=%.3gs]",
+                run_id, label(idx), attempts[idx], reason, delay,
+            )
+            if board is not None:
+                board.unit_retried(label(idx))
+            if tele is not None:
+                tele.record(_telemetry.H_BACKOFF, delay)
             heapq.heappush(backlog, (time.monotonic() + delay, idx))
         else:
             finalize_failure(idx, error)
@@ -379,12 +428,12 @@ def dispatch_resilient(
         trace = tracer is not None
         ex = _make_executor(
             rung, workers, seq, model, alpha, build_schedules, attribute, trace,
-            dp_backend,
+            dp_backend, tele is not None,
         )
         try:
             pending = deque(unresolved())
             backlog: list = []
-            inflight: Dict[object, Tuple[int, Optional[float]]] = {}
+            inflight: Dict[object, Tuple[int, Optional[float], float]] = {}
             # timed-out-but-running futures: they cannot be preempted,
             # so they keep occupying a worker until they finish on
             # their own; counting them against capacity keeps the
@@ -413,12 +462,19 @@ def dispatch_resilient(
                             )
                     except BrokenExecutor as exc:
                         raise _PoolBroken(rung, exc) from exc
+                    submitted = time.monotonic()
                     deadline = (
-                        time.monotonic() + config.unit_timeout
+                        submitted + config.unit_timeout
                         if config.unit_timeout is not None
                         else None
                     )
-                    inflight[fut] = (idx, deadline)
+                    inflight[fut] = (idx, deadline, submitted)
+                    # the thread rung's serial_attempt marks the start
+                    # itself; the process rung marks it at submit (the
+                    # dispatcher keeps at most `workers` in flight, so
+                    # submit coincides with execution start)
+                    if board is not None and rung == "process":
+                        board.unit_started(label(idx))
                     capacity -= 1
                 if not inflight and not abandoned:
                     if backlog:
@@ -426,7 +482,9 @@ def dispatch_resilient(
                         if wait_s > 0:
                             time.sleep(wait_s)
                     continue
-                timeouts = [dl for _i, dl in inflight.values() if dl is not None]
+                timeouts = [
+                    dl for _i, dl, _t in inflight.values() if dl is not None
+                ]
                 if backlog:
                     timeouts.append(backlog[0][0])
                 wait_for = (
@@ -434,16 +492,28 @@ def dispatch_resilient(
                     if timeouts
                     else None
                 )
+                if board is not None and board.stall_after is not None:
+                    # keep the dispatch loop itself checking heartbeats
+                    # even when nothing else bounds the wait
+                    cap = board.stall_after
+                    wait_for = cap if wait_for is None else min(wait_for, cap)
                 done, _ = wait(
                     list(inflight) + list(abandoned),
                     timeout=wait_for,
                     return_when=FIRST_COMPLETED,
                 )
+                if board is not None:
+                    board.check_stalls()
                 for fut in done:
                     if fut in abandoned:
                         abandoned.discard(fut)  # result already written off
                         continue
-                    idx, _dl = inflight.pop(fut)
+                    idx, _dl, submitted = inflight.pop(fut)
+                    if tele is not None:
+                        tele.record(
+                            _telemetry.H_DISPATCH,
+                            time.monotonic() - submitted,
+                        )
                     try:
                         payload = fut.result()
                     except BrokenExecutor as exc:
@@ -452,9 +522,11 @@ def dispatch_resilient(
                         on_failure(idx, exc, backlog)
                         continue
                     if rung == "process":
-                        report, spans = payload
+                        report, spans, wstats = payload
                         if trace and spans:
                             tracer.extend(spans)
+                        if tele is not None:
+                            tele.absorb_worker(wstats)
                     else:
                         report = payload
                     try:
@@ -467,14 +539,19 @@ def dispatch_resilient(
                 now = time.monotonic()
                 overdue = [
                     fut
-                    for fut, (_i, dl) in inflight.items()
+                    for fut, (_i, dl, _t) in inflight.items()
                     if dl is not None and dl <= now and not fut.done()
                 ]
                 for fut in overdue:
-                    idx, _dl = inflight.pop(fut)
+                    idx, _dl, _t = inflight.pop(fut)
                     if not fut.cancel():
                         abandoned.add(fut)
                     counters.timeouts += 1
+                    log.warning(
+                        "unit timeout [run=%s unit=%s attempt=%d budget=%.3gs]",
+                        run_id, label(idx), attempts[idx] + 1,
+                        config.unit_timeout,
+                    )
                     on_failure(idx, _TIMEOUT, backlog)
         finally:
             ex.shutdown(wait=False, cancel_futures=True)
@@ -495,6 +572,12 @@ def dispatch_resilient(
             break
         except _PoolBroken as broken:
             counters.pool_fallbacks += 1
+            log.warning(
+                "pool degraded [run=%s pool=%s cause=%s]: falling back",
+                run_id, rung, type(broken.cause).__name__,
+            )
+            if board is not None:
+                board.degraded(rung)
             with maybe_span(
                 tracer, "engine.pool_fallback", cat="engine", pool=rung,
                 cause=type(broken.cause).__name__,

@@ -38,6 +38,7 @@ from ..correlation.packing import (
     greedy_group_packing,
     greedy_pair_packing,
 )
+from ..obs.telemetry import Telemetry, active as active_telemetry
 from ..obs.tracing import maybe_span
 from .memo import SolverMemo, get_default_memo
 from .parallel import (
@@ -182,6 +183,7 @@ def solve_dp_greedy_sharded(
     dp_backend: str = "sparse",
     checkpoint: "object | None" = None,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> DPGreedyResult:
     """Run DP_Greedy with Phase 2 sharded over the resilient dispatcher.
 
@@ -217,6 +219,15 @@ def solve_dp_greedy_sharded(
         shards recovered on a degraded pool rung -- and ``resume=True``
         replays them instead of re-solving, reproducing the original
         floats bit for bit.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` hub (``None``
+        picks up any process-wide hub installed via
+        :func:`repro.obs.telemetry.install`, e.g. by the CLI's
+        ``--progress``/``--prom``).  Per-shard dispatch and inner
+        per-unit solve latencies land in its histograms, shard
+        completions/retries/stalls in its progress board, and shard
+        workers ship resource peaks back; an un-started hub is started
+        for the duration of this solve.  Strictly observation-only.
     """
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
@@ -226,6 +237,34 @@ def solve_dp_greedy_sharded(
     observe = obs is not None
     timed = obs.timers.time if observe else _null_timer
     span_mark = tracer.mark() if tracer is not None else 0
+    tele = telemetry if telemetry is not None else active_telemetry()
+    tele_owned = tele is not None and not tele.started
+    if tele_owned:
+        tele.start()
+    if tele is not None:
+        tele.begin_run()
+        stalls_before = tele.board.stalls
+    try:
+        return _solve_sharded_inner(
+            seq, model, theta=theta, alpha=alpha, shards=shards,
+            packing=packing, max_group_size=max_group_size,
+            similarity=similarity, plan=plan, workers=workers, pool=pool,
+            memo=memo, obs=obs, tracer=tracer, resilience=resilience,
+            dp_backend=dp_backend, checkpoint=checkpoint, resume=resume,
+            tele=tele,
+            stalls_before=stalls_before if tele is not None else 0,
+            timed=timed, span_mark=span_mark, observe=observe,
+        )
+    finally:
+        if tele_owned:
+            tele.stop()
+
+
+def _solve_sharded_inner(
+    seq, model, *, theta, alpha, shards, packing, max_group_size, similarity,
+    plan, workers, pool, memo, obs, tracer, resilience, dp_backend,
+    checkpoint, resume, tele, stalls_before, timed, span_mark, observe,
+) -> DPGreedyResult:
 
     # -- Phase 1: identical to solve_dp_greedy ---------------------------
     with timed("phase1.similarity"), maybe_span(
@@ -361,6 +400,7 @@ def solve_dp_greedy_sharded(
                 config=config,
                 dp_backend=dp_backend,
                 on_result=on_result,
+                telemetry=tele,
             )
 
     # -- zip shard reports back onto plan-order unit indices -------------
@@ -395,6 +435,7 @@ def solve_dp_greedy_sharded(
         timeouts=res_counters.timeouts if res_counters else 0,
         pool_fallbacks=res_counters.pool_fallbacks if res_counters else 0,
         units_failed=units_failed,
+        stalls=(tele.board.stalls - stalls_before) if tele is not None else 0,
         shards=len(shard_specs),
         dp_backend=dp_backend,
     )
@@ -409,6 +450,7 @@ def solve_dp_greedy_sharded(
             engine_stats=engine_stats,
             memo=memo_obj,
             spans=tracer.aggregate(since=span_mark) if tracer is not None else None,
+            telemetry=tele,
         )
     return DPGreedyResult(
         plan=plan,

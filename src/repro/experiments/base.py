@@ -203,6 +203,11 @@ class ExperimentResult:
         Optional Chrome trace-event payload (the
         :meth:`~repro.obs.tracing.Tracer.to_chrome` dict); persisted as
         ``TRACE_<experiment_id>.json`` by :meth:`save`.
+    prom:
+        Optional Prometheus text-format exposition of the metrics
+        snapshot (:func:`~repro.obs.telemetry.render_prometheus`
+        output); persisted as ``PROM_<experiment_id>.prom`` by
+        :meth:`save`.
     """
 
     experiment_id: str
@@ -215,6 +220,7 @@ class ExperimentResult:
     ylabel: str = "y"
     metrics: Optional[Dict[str, object]] = None
     trace: Optional[Dict[str, object]] = None
+    prom: Optional[str] = None
 
     def table(self) -> str:
         return format_table(self.rows)
@@ -265,4 +271,6 @@ class ExperimentResult:
             (out / f"TRACE_{self.experiment_id}.json").write_text(
                 json.dumps(self.trace, indent=2) + "\n"
             )
+        if self.prom is not None:
+            (out / f"PROM_{self.experiment_id}.prom").write_text(self.prom)
         return out

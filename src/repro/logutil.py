@@ -1,0 +1,74 @@
+"""Logging conventions for the ``repro`` package.
+
+Every module logs through ``logging.getLogger(__name__)``, so the whole
+package hangs under the ``repro`` namespace and a library user controls
+it with one line (``logging.getLogger("repro").setLevel(...)``).  As a
+library we stay silent by default: importing :mod:`repro` installs a
+:class:`logging.NullHandler` on the namespace root (the stdlib-blessed
+pattern), and only the CLI attaches a real handler via
+:func:`configure_cli_logging`.
+
+:func:`new_run_id` mints short per-dispatch identifiers so the WARNING
+records of one resilient dispatch (retries, timeouts, degradations,
+stalls) can be correlated in interleaved logs without any global state
+beyond a counter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import os
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_cli_logging", "new_run_id", "LOG_FORMAT"]
+
+#: Root logger of the package namespace.
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+#: CLI handler line format: level, logger, message.
+LOG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+_run_counter = itertools.count(1)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """``logging.getLogger`` with a guard that the name is namespaced."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def new_run_id() -> str:
+    """A short process-unique dispatch id, e.g. ``"r1234-7"``."""
+    return f"r{os.getpid()}-{next(_run_counter)}"
+
+
+def configure_cli_logging(
+    level: Optional[str] = None, *, quiet: bool = False, stream=None
+) -> None:
+    """Attach a stderr handler to the ``repro`` namespace (CLI only).
+
+    ``level`` is a case-insensitive name (``debug``/``info``/...);
+    ``quiet`` wins over ``level`` and raises the threshold to ERROR.
+    Calling again replaces the previously attached CLI handler rather
+    than stacking duplicates (relevant for in-process CLI tests).
+    """
+    if quiet:
+        resolved = logging.ERROR
+    elif level is None:
+        resolved = logging.WARNING
+    else:
+        resolved = getattr(logging, level.upper(), None)
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level: {level!r}")
+    for handler in list(_ROOT.handlers):
+        if getattr(handler, "_repro_cli", False):
+            _ROOT.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    _ROOT.addHandler(handler)
+    _ROOT.setLevel(resolved)

@@ -1,6 +1,6 @@
 """repro.obs: structured observability for the DP_Greedy pipeline.
 
-The subsystem has five legs; the first three are assembled per run by
+The subsystem has six legs; the first three are assembled per run by
 :class:`~repro.obs.metrics.RunObservation`:
 
 * the **cost ledger** (:mod:`repro.obs.ledger`) attributes every charged
@@ -16,7 +16,12 @@ The subsystem has five legs; the first three are assembled per run by
   and exports Chrome trace-event JSON (Perfetto-loadable);
 * the **bench history** (:mod:`repro.obs.bench`) appends every benchmark
   run to ``results/BENCH_history.jsonl`` and gates perf regressions
-  against a rolling baseline.
+  against a rolling baseline;
+* the **telemetry plane** (:mod:`repro.obs.telemetry`) adds the runtime
+  leg: mergeable log-bucket latency histograms (p50/p90/p99/max),
+  a /proc-based resource sampler with worker peak shipping, a progress
+  board with a stall watchdog, and Prometheus/TTY exposition -- the
+  ``latency``/``resources`` sections of METRICS schema v3.
 
 Emission is strictly opt-in: pass ``obs=RunObservation()`` and/or
 ``tracer=Tracer()`` to :func:`repro.core.dp_greedy.solve_dp_greedy` (or
@@ -42,9 +47,23 @@ from .ledger import (
 )
 from .metrics import (
     METRICS_SCHEMA,
+    METRICS_SCHEMAS,
     MetricsCollector,
     RunObservation,
+    read_metrics,
     write_metrics,
+)
+from .telemetry import (
+    PROM_LINE_RE,
+    LatencyHistogram,
+    ProgressBoard,
+    ProgressRenderer,
+    ResourceSampler,
+    Telemetry,
+    WorkerUnitStats,
+    render_dashboard,
+    render_prometheus,
+    write_prometheus,
 )
 from .timers import PhaseTimers
 from .tracing import SpanRecord, Tracer, maybe_span, write_chrome_trace
@@ -57,9 +76,21 @@ __all__ = [
     "CounterRegistry",
     "PhaseTimers",
     "METRICS_SCHEMA",
+    "METRICS_SCHEMAS",
     "MetricsCollector",
     "RunObservation",
+    "read_metrics",
     "write_metrics",
+    "LatencyHistogram",
+    "ProgressBoard",
+    "ProgressRenderer",
+    "ResourceSampler",
+    "Telemetry",
+    "WorkerUnitStats",
+    "PROM_LINE_RE",
+    "render_dashboard",
+    "render_prometheus",
+    "write_prometheus",
     "SpanRecord",
     "Tracer",
     "maybe_span",

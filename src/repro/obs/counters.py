@@ -63,6 +63,20 @@ class CounterRegistry:
             raise TypeError(f"expected a dataclass of counters, got {stats!r}")
         self.absorb(dataclasses.asdict(stats), prefix=prefix)
 
+    def numeric_items(self) -> Dict[str, Union[int, float]]:
+        """Only the numeric counters, sorted by name.
+
+        The metrics v3 aggregate and the Prometheus exporter sum
+        counters across runs; string-valued entries (e.g. the
+        ``engine.pool`` / ``engine.dp_backend`` labels) are skipped --
+        summing labels is meaningless.  Booleans pass through as 0/1.
+        """
+        return {
+            name: value
+            for name, value in sorted(self._values.items())
+            if isinstance(value, (int, float)) and not isinstance(value, str)
+        }
+
     def snapshot(self) -> Dict[str, Value]:
         """JSON-ready copy, sorted by name."""
         return dict(sorted(self._values.items()))

@@ -23,16 +23,35 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .counters import CounterRegistry
 from .ledger import ACTIONS, CostLedger
+from .telemetry import LatencyHistogram
 from .timers import PhaseTimers
 
-__all__ = ["METRICS_SCHEMA", "RunObservation", "MetricsCollector", "write_metrics"]
+__all__ = [
+    "METRICS_SCHEMA",
+    "METRICS_SCHEMAS",
+    "RunObservation",
+    "MetricsCollector",
+    "read_metrics",
+    "write_metrics",
+]
 
-#: Schema identifier stamped into every metrics snapshot.  v2 is a
-#: strict superset of v1: every run record and the aggregate gain a
-#: ``spans`` section (per-span-name ``{seconds, calls}`` from the
-#: ``repro.obs.tracing`` tracer; empty when tracing was off).  All v1
-#: keys are unchanged, so v1 consumers keep working unmodified.
-METRICS_SCHEMA = "repro.obs/metrics/v2"
+#: Schema identifier stamped into every metrics snapshot.  v2 added the
+#: ``spans`` section on top of v1.  v3 is a strict superset of v2:
+#: every run record and the aggregate gain a ``latency`` section
+#: (per-histogram-name log-bucket snapshots with p50/p90/p99/max, from
+#: :mod:`repro.obs.telemetry`) and a ``resources`` section (parent
+#: sampler peaks + worker peaks); the aggregate additionally gains a
+#: ``counters`` section summing numeric counters across runs.  All v2
+#: keys are unchanged, so v1/v2 consumers keep working unmodified --
+#: :func:`read_metrics` reads any of the three.
+METRICS_SCHEMA = "repro.obs/metrics/v3"
+
+#: Every schema revision :func:`read_metrics` accepts, oldest first.
+METRICS_SCHEMAS = (
+    "repro.obs/metrics/v1",
+    "repro.obs/metrics/v2",
+    "repro.obs/metrics/v3",
+)
 
 #: Observation-2 serving modes -> ledger actions.  The mode strings are
 #: owned by :mod:`repro.core.dp_greedy` (MODE_CACHE/MODE_TRANSFER/
@@ -50,6 +69,8 @@ class RunObservation:
         "timers",
         "counters",
         "spans",
+        "latency",
+        "resources",
         "total_cost",
         "reconciliation_error",
     )
@@ -63,6 +84,12 @@ class RunObservation:
         #: Per-span-name aggregates from the run's tracer window
         #: (``{name: {seconds, calls}}``); empty when tracing was off.
         self.spans: Dict[str, Dict[str, float]] = {}
+        #: Per-histogram-name latency snapshots from the run's telemetry
+        #: window (v3); empty when telemetry was off.
+        self.latency: Dict[str, Dict[str, object]] = {}
+        #: Parent/worker resource snapshot from the telemetry hub (v3);
+        #: empty when telemetry was off.
+        self.resources: Dict[str, object] = {}
         self.total_cost: Optional[float] = None
         self.reconciliation_error: Optional[float] = None
 
@@ -75,6 +102,7 @@ class RunObservation:
         engine_stats: Optional[object] = None,
         memo: Optional[object] = None,
         spans: Optional[Dict[str, Dict[str, float]]] = None,
+        telemetry: Optional[object] = None,
     ) -> None:
         """Ingest one solve's reports into the ledger and reconcile.
 
@@ -86,7 +114,10 @@ class RunObservation:
         sequence violating that assumption would silently mis-attribute
         charges, hence duplicate timestamps are rejected outright.
         ``spans`` (the run's :meth:`~repro.obs.tracing.Tracer.aggregate`
-        window) lands in the snapshot's v2 ``spans`` section.
+        window) lands in the snapshot's v2 ``spans`` section;
+        ``telemetry`` (a :class:`~repro.obs.telemetry.Telemetry`)
+        contributes the v3 ``latency`` (current run window) and
+        ``resources`` sections.
         """
         import numpy as np
 
@@ -139,6 +170,9 @@ class RunObservation:
             self.counters.absorb(memo.stats(), prefix="memo.")
         if spans:
             self.spans = {name: dict(rec) for name, rec in spans.items()}
+        if telemetry is not None:
+            self.latency = telemetry.latency_snapshot()
+            self.resources = telemetry.resources_snapshot()
         self.total_cost = float(total_cost)
         self.reconciliation_error = self.ledger.reconcile(total_cost)
 
@@ -152,6 +186,8 @@ class RunObservation:
             "ledger": self.ledger.snapshot(),
             "phases": self.timers.snapshot(),
             "spans": {name: dict(rec) for name, rec in self.spans.items()},
+            "latency": {name: dict(rec) for name, rec in self.latency.items()},
+            "resources": dict(self.resources),
             "counters": self.counters.snapshot(),
         }
 
@@ -189,6 +225,46 @@ class MetricsCollector:
         for o in finalized:
             phase_agg.merge(o.timers)
             span_agg.merge(o.spans)
+        # v3 latency: each run carries its own telemetry window, so
+        # merging the per-run histograms (associative elementwise bucket
+        # addition) reconstructs the exact cross-sweep distribution.
+        latency_agg: Dict[str, LatencyHistogram] = {}
+        for o in finalized:
+            for name, snap in o.latency.items():
+                hist = latency_agg.setdefault(name, LatencyHistogram())
+                hist.merge(LatencyHistogram.from_snapshot(snap))
+        # v3 resources: the sampler is cumulative across a telemetry
+        # lifetime, so peaks/cpu/sample-count max-merge across runs (a
+        # later run's snapshot subsumes an earlier one of the same hub).
+        resources_agg = {
+            "peak_rss_bytes": 0,
+            "worker_peak_rss_bytes": 0,
+            "cpu_seconds": 0.0,
+            "samples": 0,
+        }
+        for o in finalized:
+            parent = o.resources.get("parent", {}) if o.resources else {}
+            workers = o.resources.get("workers", {}) if o.resources else {}
+            resources_agg["peak_rss_bytes"] = max(
+                resources_agg["peak_rss_bytes"], parent.get("peak_rss_bytes", 0)
+            )
+            resources_agg["worker_peak_rss_bytes"] = max(
+                resources_agg["worker_peak_rss_bytes"],
+                max(
+                    (rec.get("peak_rss_bytes", 0) for rec in workers.values()),
+                    default=0,
+                ),
+            )
+            resources_agg["cpu_seconds"] = max(
+                resources_agg["cpu_seconds"], parent.get("cpu_seconds", 0.0)
+            )
+            resources_agg["samples"] = max(
+                resources_agg["samples"], parent.get("samples_taken", 0)
+            )
+        counter_agg: Dict[str, Union[int, float]] = {}
+        for o in finalized:
+            for name, value in o.counters.numeric_items().items():
+                counter_agg[name] = counter_agg.get(name, 0) + value
         return {
             "schema": METRICS_SCHEMA,
             "runs": [o.snapshot() for o in finalized],
@@ -198,6 +274,12 @@ class MetricsCollector:
                 "actions": action_totals,
                 "phases": phase_agg.snapshot(),
                 "spans": span_agg.snapshot(),
+                "latency": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(latency_agg.items())
+                },
+                "resources": resources_agg,
+                "counters": dict(sorted(counter_agg.items())),
                 "max_reconciliation_error": max(
                     (o.reconciliation_error for o in finalized), default=0.0
                 ),
@@ -213,3 +295,42 @@ def write_metrics(
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return out
+
+
+def read_metrics(
+    source: Union[str, Path, Dict[str, object]]
+) -> Dict[str, object]:
+    """Load a METRICS snapshot of any schema revision, normalised to v3.
+
+    ``source`` is a path to a ``METRICS_*.json`` file or an
+    already-parsed snapshot dict.  Older revisions are upgraded in
+    place: sections a revision predates (``spans`` for v1, ``latency``/
+    ``resources``/aggregate ``counters`` for v1-v2) default to empty,
+    so v3 consumers can read golden v1/v2 artefacts unmodified.  The
+    ``schema`` key keeps the *original* revision -- reading never
+    relabels an artefact as something it is not.
+    """
+    if isinstance(source, dict):
+        snap: Dict[str, object] = dict(source)
+    else:
+        snap = json.loads(Path(source).read_text())
+    schema = snap.get("schema")
+    if schema not in METRICS_SCHEMAS:
+        raise ValueError(
+            f"unsupported metrics schema {schema!r}; expected one of "
+            f"{METRICS_SCHEMAS}"
+        )
+    runs = [dict(run) for run in snap.get("runs", [])]
+    for run in runs:
+        run.setdefault("spans", {})
+        run.setdefault("latency", {})
+        run.setdefault("resources", {})
+        run.setdefault("counters", {})
+    snap["runs"] = runs
+    agg = dict(snap.get("aggregate", {}))
+    agg.setdefault("spans", {})
+    agg.setdefault("latency", {})
+    agg.setdefault("resources", {})
+    agg.setdefault("counters", {})
+    snap["aggregate"] = agg
+    return snap

@@ -1,6 +1,11 @@
 """Plot and table rendering for the experiment harnesses (no matplotlib)."""
 
-from .ascii import ascii_heatmap, ascii_histogram, ascii_line_plot
+from .ascii import (
+    ascii_heatmap,
+    ascii_histogram,
+    ascii_line_plot,
+    ascii_progress_bar,
+)
 from .spacetime import render_schedule
 from .tables import format_table, rows_to_csv, write_csv
 
@@ -8,6 +13,7 @@ __all__ = [
     "ascii_line_plot",
     "ascii_histogram",
     "ascii_heatmap",
+    "ascii_progress_bar",
     "render_schedule",
     "rows_to_csv",
     "write_csv",

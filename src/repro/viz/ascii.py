@@ -12,7 +12,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["ascii_line_plot", "ascii_histogram", "ascii_heatmap"]
+__all__ = [
+    "ascii_line_plot",
+    "ascii_histogram",
+    "ascii_heatmap",
+    "ascii_progress_bar",
+]
 
 _MARKERS = "o*x+#@%&"
 
@@ -90,6 +95,27 @@ def ascii_histogram(
         bar = "#" * max(0, round(v / peak * width))
         lines.append(f"{str(k):>{label_w}} | {bar} {_fmt(v)}")
     return "\n".join(lines)
+
+
+def ascii_progress_bar(
+    done: int,
+    total: int,
+    *,
+    width: int = 32,
+    prefix: str = "",
+) -> str:
+    """Single-line progress bar, e.g. ``solve [#####.....] 12/24 50%``.
+
+    ``total=0`` renders an empty bar at 100% (nothing to do is done);
+    ``done`` is clamped into ``[0, total]``.
+    """
+    total = max(0, total)
+    done = min(max(0, done), total) if total else 0
+    frac = done / total if total else 1.0
+    filled = round(frac * width)
+    bar = "#" * filled + "." * (width - filled)
+    head = f"{prefix} " if prefix else ""
+    return f"{head}[{bar}] {done}/{total} {frac:4.0%}"
 
 
 def ascii_heatmap(

@@ -171,11 +171,13 @@ class TestExecutorHardening:
                 return False
 
         def fake_make(kind, workers, seq, model, alpha, build_schedules,
-                      attribute, trace=False, dp_backend="sparse"):
+                      attribute, trace=False, dp_backend="sparse",
+                      telemetry=False):
             # run the worker initializer in-process so _serve_unit_in_worker
             # finds its globals
             parallel._init_worker(
-                seq, model, alpha, build_schedules, attribute, trace, dp_backend
+                seq, model, alpha, build_schedules, attribute, trace,
+                dp_backend, telemetry,
             )
             return _RecordingExecutor()
 

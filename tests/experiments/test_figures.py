@@ -213,7 +213,7 @@ class TestHarnessMetrics:
 
     def test_snapshot_attached_with_schema(self, res):
         assert res.metrics is not None
-        assert res.metrics["schema"] == "repro.obs/metrics/v2"
+        assert res.metrics["schema"] == "repro.obs/metrics/v3"
 
     def test_one_observation_per_dpg_solve(self, res):
         # fig11 runs one DP_Greedy solve per (jaccard, repeat) point
@@ -237,7 +237,7 @@ class TestHarnessMetrics:
         path = tmp_path / "METRICS_fig11.json"
         assert path.exists()
         on_disk = json.loads(path.read_text())
-        assert on_disk["schema"] == "repro.obs/metrics/v2"
+        assert on_disk["schema"] == "repro.obs/metrics/v3"
         assert on_disk["aggregate"]["runs"] == len(res.rows)
 
     def test_metrics_off_by_default(self):

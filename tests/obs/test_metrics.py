@@ -180,7 +180,7 @@ class TestMetricsV2Spans:
             obs=collector.observe(), tracer=tracer,
         )
         snap = collector.snapshot()
-        assert snap["schema"] == "repro.obs/metrics/v2"
+        assert snap["schema"] == "repro.obs/metrics/v3"
         run_spans = snap["runs"][0]["spans"]
         assert "phase1.similarity" in run_spans
         assert "phase2.solve" in run_spans

@@ -98,7 +98,7 @@ class TestMetricsFlag:
         path = out_dir / "METRICS_fig12.json"
         assert path.exists()
         snap = json.loads(path.read_text())
-        assert snap["schema"] == "repro.obs/metrics/v2"
+        assert snap["schema"] == "repro.obs/metrics/v3"
         assert snap["aggregate"]["max_reconciliation_error"] <= 1e-9
         assert "METRICS_fig12.json" in capsys.readouterr().out
 
@@ -323,3 +323,111 @@ class TestTraceStoreCommands:
     def test_shards_must_be_positive(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "x.csv", "--shards", "0"])
+
+
+class TestTelemetryFlags:
+    def _store(self, tmp_path, capsys):
+        from repro.trace import save_sequence, zipf_item_workload
+
+        csv_path = tmp_path / "trace.csv"
+        save_sequence(csv_path, zipf_item_workload(60, 6, 8, seed=4))
+        store = tmp_path / "trace.store"
+        assert main(["trace", "convert", str(csv_path), str(store)]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_sharded_store_solve_honours_all_telemetry_flags(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.obs.telemetry import PROM_LINE_RE
+
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        monkeypatch.chdir(tmp_path)
+        store = self._store(tmp_path, capsys)
+        trace_out = tmp_path / "spans.json"
+        prom_out = tmp_path / "solve.prom"
+        argv = [
+            "solve", str(store), "--store", "--shards", "3", "--workers",
+            "2", "--metrics", "--trace", str(trace_out), "--prom",
+            str(prom_out), "--progress",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sharded: 3 shard(s)" in out
+        assert "latency (ms)" in out  # the --progress dashboard
+
+        # --trace: a non-empty Chrome trace
+        spans = json.loads(trace_out.read_text())
+        assert spans["traceEvents"]
+
+        # --metrics: a v3 snapshot with per-run latency histograms
+        snap = json.loads(
+            (tmp_path / "results" / "METRICS_solve.json").read_text()
+        )
+        assert snap["schema"] == "repro.obs/metrics/v3"
+        agg = snap["aggregate"]
+        solve_hist = agg["latency"]["phase2.solve_seconds"]
+        assert solve_hist["count"] >= 1
+        assert solve_hist["quantiles"]["p50"] is not None
+        assert agg["resources"]["peak_rss_bytes"] > 0
+        assert "engine.stalls" in agg["counters"]
+
+        # --prom: every line passes the text-format check
+        text = prom_out.read_text()
+        assert text
+        for line in text.splitlines():
+            assert PROM_LINE_RE.match(line), line
+
+    def test_prom_implies_metrics(self, tmp_path, capsys, monkeypatch):
+        from repro.trace import correlated_pair_sequence, save_sequence
+
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "trace.csv"
+        save_sequence(path, correlated_pair_sequence(40, 5, 0.5, seed=2))
+        prom_out = tmp_path / "solve.prom"
+        assert main(["solve", str(path), "--prom", str(prom_out)]) == 0
+        assert prom_out.exists()
+        assert (tmp_path / "results" / "METRICS_solve.json").exists()
+
+    def test_telemetry_flags_leave_costs_bit_identical(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        monkeypatch.chdir(tmp_path)
+        store = self._store(tmp_path, capsys)
+        assert main(["solve", str(store), "--store", "--shards", "3"]) == 0
+        ref = capsys.readouterr().out
+        assert main([
+            "solve", str(store), "--store", "--shards", "3", "--metrics",
+            "--prom", str(tmp_path / "x.prom"), "--progress",
+            "--stall-after", "30",
+        ]) == 0
+        got = capsys.readouterr().out
+        ref_table = ref[ref.index("DP_Greedy"):ref.index("Package_Served")]
+        got_table = got[got.index("DP_Greedy"):got.index("Package_Served")]
+        assert got_table == ref_table
+
+    def test_run_prom_writes_artefact(self, tmp_path, capsys):
+        out_dir = tmp_path / "res"
+        prom_out = tmp_path / "fig12.prom"
+        assert main([
+            "run", "fig12", "--quick", "--out", str(out_dir), "--prom",
+            str(prom_out),
+        ]) == 0
+        assert prom_out.exists()
+        assert (out_dir / "PROM_fig12.prom").exists()
+        # --prom implies --metrics
+        assert (out_dir / "METRICS_fig12.json").exists()
+
+    def test_log_level_flag_parses_in_both_positions(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["--log-level", "info", "solve", "x.csv"]
+        ).log_level == "info"
+        assert parser.parse_args(
+            ["solve", "x.csv", "--log-level", "debug"]
+        ).log_level == "debug"
+        assert parser.parse_args(["solve", "x.csv"]).log_level is None
+        assert parser.parse_args(["solve", "x.csv", "-q"]).quiet
