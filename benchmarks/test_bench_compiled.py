@@ -1,0 +1,156 @@
+"""Benchmarks of the compiled (numba-JIT) Phase-2 kernel.
+
+Bit-identity with the sparse backend is pinned exhaustively in
+``tests/cache/test_compiled_dp.py``; this module pins the *speed* half
+of the contract with two hard floors:
+
+- per-unit: the compiled sweep must beat the sparse python sweep by at
+  least 5x on a single ``n = 6400`` unit;
+- batched: the compiled lockstep lowering must beat the numpy batched
+  kernel by at least 2x at ``>= 1000`` units.
+
+Warm-up (JIT compilation) happens once before timing and is excluded
+from the measured window -- exactly how the engine dispatches: the pool
+parent warms the kernels, workers hit numba's on-disk cache.  Both
+floors also land an explicit ``scaling.dp_compiled`` point in
+``results/BENCH_history.jsonl`` so the trajectory is tracked alongside
+the other scaling curves.
+
+The whole module skips when numba is unavailable (the force-python mode
+runs identical logic but has no speed claim to make).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cache import compiled_dp
+from repro.cache.batched_dp import batched_optimal_costs
+from repro.cache.model import CostModel, SingleItemView
+from repro.cache.optimal_dp import optimal_cost
+from repro.trace.workload import random_single_item_view
+
+from conftest import _history
+
+pytestmark = pytest.mark.skipif(
+    compiled_dp.mode() != "jit",
+    reason="numba unavailable; compiled backend has no speed floor to pin",
+)
+
+MODEL = CostModel(mu=1.0, lam=1.0)
+
+#: Acceptance floors from the issue: 5x over sparse per-unit at n=6400,
+#: 2x over the numpy batched kernel at B >= 1000.
+MIN_UNIT_SPEEDUP = 5.0
+MIN_BATCH_SPEEDUP = 2.0
+
+UNIT_N = 6400
+BATCH_UNITS = 1000
+
+
+def _array_views(count, n_lo, n_hi, m, seed):
+    rng = np.random.default_rng(seed)
+    views = []
+    for _ in range(count):
+        n = int(rng.integers(n_lo, n_hi))
+        v = random_single_item_view(
+            n, m, seed=int(rng.integers(0, 2**31)), horizon=float(n)
+        )
+        views.append(
+            SingleItemView(
+                servers=np.asarray(v.servers, dtype=np.int64),
+                times=np.asarray(v.times, dtype=np.float64),
+                num_servers=v.num_servers,
+                origin=v.origin,
+            )
+        )
+    return views
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_compiled_unit_speedup_n6400(benchmark):
+    """>= 5x over the sparse python sweep on one n=6400 unit."""
+    compiled_dp.warm_up()
+    view = _array_views(1, UNIT_N, UNIT_N + 1, 8, seed=11)[0]
+
+    t_sparse, ref = _best_of(lambda: optimal_cost(view, MODEL), repeats=1)
+    t_compiled, got = _best_of(
+        lambda: optimal_cost(view, MODEL, backend="compiled")
+    )
+
+    assert got == ref
+    speedup = t_sparse / t_compiled
+    assert speedup >= MIN_UNIT_SPEEDUP, (
+        f"compiled per-unit sweep only {speedup:.2f}x over sparse at "
+        f"n={UNIT_N} (sparse {t_sparse * 1e3:.0f}ms, compiled "
+        f"{t_compiled * 1e3:.2f}ms); floor is {MIN_UNIT_SPEEDUP}x"
+    )
+
+    history = _history()
+    if history is not None:
+        history.append(
+            "scaling.dp_compiled",
+            t_compiled,
+            {
+                "shape": "unit",
+                "n": UNIT_N,
+                "num_servers": 8,
+                "sparse_seconds": round(t_sparse, 6),
+                "speedup": round(speedup, 2),
+                "floor": MIN_UNIT_SPEEDUP,
+                "jit_compile_seconds": round(
+                    compiled_dp.jit_compile_seconds(), 3
+                ),
+            },
+        )
+
+    benchmark(optimal_cost, view, MODEL, backend="compiled")
+
+
+def test_bench_compiled_batched_speedup_1k_units(benchmark):
+    """>= 2x over the numpy batched kernel on 1000 engine-sized units."""
+    compiled_dp.warm_up()
+    views = _array_views(BATCH_UNITS, 100, 140, 6, seed=42)
+
+    t_numpy, ref = _best_of(
+        lambda: batched_optimal_costs(views, MODEL, backend="batched")
+    )
+    t_compiled, got = _best_of(
+        lambda: batched_optimal_costs(views, MODEL, backend="compiled")
+    )
+
+    assert np.array_equal(got, ref)
+    speedup = t_numpy / t_compiled
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"compiled batch lowering only {speedup:.2f}x over the numpy "
+        f"kernel at B={BATCH_UNITS} (numpy {t_numpy * 1e3:.1f}ms, "
+        f"compiled {t_compiled * 1e3:.1f}ms); floor is {MIN_BATCH_SPEEDUP}x"
+    )
+
+    history = _history()
+    if history is not None:
+        history.append(
+            "scaling.dp_compiled",
+            t_compiled,
+            {
+                "shape": "batch",
+                "units": BATCH_UNITS,
+                "num_servers": 6,
+                "numpy_seconds": round(t_numpy, 6),
+                "speedup": round(speedup, 2),
+                "floor": MIN_BATCH_SPEEDUP,
+            },
+        )
+
+    benchmark(batched_optimal_costs, views, MODEL, backend="compiled")

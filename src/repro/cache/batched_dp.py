@@ -91,6 +91,8 @@ def batched_optimal_costs(
     views: Sequence[SingleItemView],
     model: CostModel,
     rate_multipliers: Optional[Sequence[float]] = None,
+    *,
+    backend: str = "batched",
 ) -> np.ndarray:
     """Cost-only solve of ``B`` independent single-item instances.
 
@@ -100,14 +102,29 @@ def batched_optimal_costs(
     views of any mix of lengths are accepted (shorter rows are masked),
     but callers should bucket by length (:func:`length_buckets`) to
     bound pad waste.
+
+    ``backend="compiled"`` routes the batch through the numba-JIT
+    lowering (:mod:`repro.cache.compiled_dp`); when the compiled kernels
+    are unavailable the numpy lockstep sweep below runs instead
+    (bit-identical either way).  ``backend="auto"`` picks
+    compiled -> batched by availability.
     """
     B = len(views)
+    if backend not in ("batched", "compiled", "auto"):
+        raise ValueError(f"unknown batched DP backend {backend!r}")
     if rate_multipliers is not None and len(rate_multipliers) != B:
         raise ValueError(
             f"got {len(rate_multipliers)} rate multipliers for {B} views"
         )
     if B == 0:
         return np.zeros(0, dtype=np.float64)
+    if backend in ("compiled", "auto"):
+        from . import compiled_dp
+
+        if backend == "compiled" or compiled_dp.available():
+            got = compiled_dp.batched_costs(views, model, rate_multipliers)
+            if got is not None:
+                return got
     mu, lam = model.mu, model.lam
 
     # -- padded event arrays (origin event at row 0) ---------------------
@@ -234,29 +251,48 @@ def length_buckets(
 ) -> List[List[int]]:
     """Partition ``ids`` into batches of similar length.
 
-    Sorts by ``(length, id)`` and cuts a new bucket whenever the next
-    length exceeds ``max_ratio`` times the bucket's minimum or the
-    bucket reaches ``max_batch`` units.  Every id lands in exactly one
-    bucket; bucket order (and order within a bucket) is deterministic.
+    Sorts by ``(length, id)`` and groups while the next length stays
+    within ``max_ratio`` times the group's minimum; a group larger than
+    ``max_batch`` is then split into near-equal chunks (sizes differing
+    by at most one).  The even split matters when many units share one
+    length: cutting greedily every ``max_batch`` units would emit full
+    buckets plus a tiny remainder (2049 identical lengths at cap 1024
+    -> ``[1024, 1024, 1]``, whose trailing singleton forfeits the batch
+    amortisation), whereas the even split yields ``[683, 683, 683]``.
+    Every id lands in exactly one bucket; bucket order (and order
+    within a bucket) is deterministic.
     """
     if max_ratio < 1.0:
         raise ValueError("max_ratio must be >= 1")
     if max_batch < 1:
         raise ValueError("max_batch must be >= 1")
     order = sorted(ids, key=lambda i: (lengths[i], i))
-    buckets: List[List[int]] = []
+    groups: List[List[int]] = []
     current: List[int] = []
     floor = 0
     for i in order:
         n = lengths[i]
-        if current and (len(current) >= max_batch or n > max_ratio * max(floor, 1)):
-            buckets.append(current)
+        if current and n > max_ratio * max(floor, 1):
+            groups.append(current)
             current = []
         if not current:
             floor = n
         current.append(i)
     if current:
-        buckets.append(current)
+        groups.append(current)
+    buckets: List[List[int]] = []
+    for group in groups:
+        k = len(group)
+        if k <= max_batch:
+            buckets.append(group)
+            continue
+        parts = -(-k // max_batch)  # ceil division
+        size, extra = divmod(k, parts)
+        lo = 0
+        for p in range(parts):
+            hi = lo + size + (1 if p < extra else 0)
+            buckets.append(group[lo:hi])
+            lo = hi
     return buckets
 
 

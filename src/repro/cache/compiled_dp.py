@@ -1,0 +1,616 @@
+"""Compiled Phase-2 kernel: numba-JIT sparse-frontier DP with fallback.
+
+The sparse frontier (:mod:`repro.cache.optimal_dp`) made each
+single-item solve ``O(n * m)`` and the batched lockstep kernel
+(:mod:`repro.cache.batched_dp`) amortised the interpreter across many
+units; the remaining order of magnitude is interpreter overhead itself.
+This module lowers the *same* recurrence to machine code through numba:
+
+* :func:`unit_cost` -- cost-only sweep of one unit (the compiled
+  counterpart of ``optimal_cost(backend="sparse")``);
+* :func:`unit_solve` -- the path-tracking sweep plus in-kernel
+  backtracking, feeding ``solve_optimal``'s schedule reconstruction;
+* :func:`batched_costs` -- batched lowering: the event arrays of ``B``
+  units are concatenated into flat planes and priced in one compiled
+  call, one tight per-unit loop instead of one interpreted step per
+  padded position.
+
+Bit-identity
+------------
+Every kernel performs the scalar sparse sweep's float64 additions and
+min-reductions in the same order (the frontier is represented as dense
+per-server slots, exactly like the batched kernel; min-reductions are
+value-order-independent and the path sweep's canonical ``(cost, M)``
+tie-break makes the chosen path identical, not merely equally optimal).
+``tests/cache/test_compiled_dp.py`` pins costs *and* decision paths
+against the sparse backend bitwise.
+
+Availability and graceful degradation
+-------------------------------------
+The kernels are written in the nopython subset and wrapped with
+``numba.njit(cache=True)`` when numba imports; the on-disk cache means
+one process compiles and every later process (including pool workers
+re-importing under spawn) loads machine code instead of re-JITting.
+:func:`available` probes usability once per process; :func:`warm_up`
+triggers (and times) the one-time compile -- the engine calls it before
+opening a pool and records the wall time under the
+``engine.jit_compile_seconds`` telemetry family.
+
+When numba is missing, the import fails, an input has an unsupported
+dtype, or ``REPRO_NO_NUMBA=1`` is set, every entry point returns
+``None`` and callers silently fall back to the sparse backend: one
+WARNING is logged per process (:func:`note_fallback`) and a
+``pool_fallbacks``-style counter (:func:`fallback_count`, surfaced as
+``engine.compiled_fallbacks``) records how often it happened.  Setting
+``REPRO_COMPILED_FORCE=python`` runs the very same kernel functions
+*uncompiled* -- slow, but byte-identical -- which is how the
+equivalence suites exercise the kernel logic on numba-less machines.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .model import CostModel, SingleItemView
+
+log = logging.getLogger(__name__)
+
+__all__ = [
+    "AUTO_BATCH_UNITS",
+    "available",
+    "batched_costs",
+    "disabled_reason",
+    "fallback_count",
+    "jit_compile_seconds",
+    "mode",
+    "note_fallback",
+    "resolve_backend",
+    "reset",
+    "unit_cost",
+    "unit_solve",
+    "warm_up",
+]
+
+#: ``dp_backend="auto"`` prefers the batched numpy kernel over per-unit
+#: sparse sweeps from this many serving units on (when the compiled
+#: backend is unavailable); below it the batch amortisation does not
+#: cover the padding/stacking overhead.
+AUTO_BATCH_UNITS = 64
+
+#: Decision codes mirrored from :mod:`repro.cache.optimal_dp`.
+_KEEP, _DROP, _NODECISION = 1, 0, -1
+
+
+# ---------------------------------------------------------------------------
+# kernel sources (nopython-compatible; JIT-wrapped when numba is present)
+# ---------------------------------------------------------------------------
+#
+# Inputs are the *event* arrays: the virtual origin event at index 0
+# followed by the n requests -- int64 servers, float64 times.  ``m`` is
+# the server universe size; the frontier lives as dense per-server
+# slots with the sentinel M = n + 1 marking an inactive slot (no event
+# index reaches n + 1, so it can never become eligible), exactly like
+# the batched kernel's representation of the scalar sweep's dict.
+
+def _kernel_unit_cost(servers, times, mu, lam, m):
+    """Cost-only sparse-frontier sweep of one unit.
+
+    Returns ``base_transfers + dp_cost`` -- the same float the scalar
+    path computes as ``base_cost + dp_cost`` before the rate
+    multiplier.
+    """
+    n = servers.shape[0] - 1
+    nxt = np.full(n + 1, -1, dtype=np.int64)
+    last_seen = np.full(m, -1, dtype=np.int64)
+    for i in range(n, -1, -1):
+        s = servers[i]
+        nxt[i] = last_seen[s]
+        last_seen[s] = i
+    preceded = 0
+    for i in range(n + 1):
+        if nxt[i] >= 0:
+            preceded += 1
+    base_transfers = lam * (n - preceded)
+
+    sentinel = n + 1
+    pend_M = np.full(m, sentinel, dtype=np.int64)
+    pend_cost = np.full(m, np.inf, dtype=np.float64)
+    base_cost = 0.0
+    for i in range(n + 1):
+        j = nxt[i]
+        if j >= 0:
+            keep_cost = mu * (times[j] - times[i])
+            best = base_cost
+            if keep_cost <= lam:
+                for s in range(m):
+                    M = pend_M[s]
+                    if M == sentinel:
+                        continue
+                    c = pend_cost[s]
+                    if M <= j:
+                        if c < best:
+                            best = c
+                        pend_cost[s] = c + lam
+                    else:
+                        pend_cost[s] = c + keep_cost
+            else:
+                for s in range(m):
+                    M = pend_M[s]
+                    if M == sentinel:
+                        continue
+                    if M <= j and pend_cost[s] < best:
+                        best = pend_cost[s]
+                    pend_cost[s] = pend_cost[s] + lam
+            base_cost = base_cost + lam
+            s_i = servers[i]
+            pend_M[s_i] = j
+            pend_cost[s_i] = best + keep_cost
+        if i < n:
+            uncovered = base_cost + mu * (times[i + 1] - times[i])
+            s_next = servers[i + 1]
+            if pend_M[s_next] == i + 1:
+                rc = pend_cost[s_next]
+                pend_M[s_next] = sentinel
+                pend_cost[s_next] = np.inf
+                if rc <= uncovered:
+                    base_cost = rc
+                else:
+                    base_cost = uncovered
+            else:
+                base_cost = uncovered
+    return base_transfers + base_cost
+
+
+def _kernel_unit_solve(servers, times, mu, lam, m):
+    """Path-tracking sweep plus backtrack: ``(total, decisions, backbone)``.
+
+    Mirrors ``_sparse_path_sweep`` state by state, including the
+    canonical ``(cost, M)`` collapsed-keep tie-break and the
+    pending-wins merge tie, so the decision path equals the sparse
+    backend's exactly.  The O(n * m) per-event frontier snapshots live
+    in preallocated arrays and the backtrack runs in-kernel.
+    """
+    n = servers.shape[0] - 1
+    nxt = np.full(n + 1, -1, dtype=np.int64)
+    last_seen = np.full(m, -1, dtype=np.int64)
+    for i in range(n, -1, -1):
+        s = servers[i]
+        nxt[i] = last_seen[s]
+        last_seen[s] = i
+    preceded = 0
+    for i in range(n + 1):
+        if nxt[i] >= 0:
+            preceded += 1
+    base_transfers = lam * (n - preceded)
+
+    sentinel = n + 1
+    pend_M = np.full(m, sentinel, dtype=np.int64)
+    pend_cost = np.full(m, np.inf, dtype=np.float64)
+    pend_parent = np.full(m, -1, dtype=np.int64)
+    pend_dec = np.full(m, -1, dtype=np.int8)
+    hist_pend_M = np.empty((n + 1, m), dtype=np.int64)
+    hist_pend_parent = np.empty((n + 1, m), dtype=np.int64)
+    hist_pend_dec = np.empty((n + 1, m), dtype=np.int8)
+    hist_base_key = np.empty(n + 1, dtype=np.int64)
+    hist_base_parent = np.empty(n + 1, dtype=np.int64)
+    hist_base_dec = np.empty(n + 1, dtype=np.int8)
+    hist_base_bb = np.zeros(n + 1, dtype=np.bool_)
+
+    base_cost = 0.0
+    base_M = 0
+    for i in range(n + 1):
+        j = nxt[i]
+        if j < 0:
+            base_parent = base_M
+            base_dec = -1  # no decision
+            for s in range(m):
+                if pend_M[s] != sentinel:
+                    pend_parent[s] = pend_M[s]
+                    pend_dec[s] = -1
+        else:
+            keep_cost = mu * (times[j] - times[i])
+            best_c = base_cost
+            best_M = base_M
+            keep_wins = keep_cost <= lam
+            for s in range(m):
+                M = pend_M[s]
+                if M == sentinel:
+                    continue
+                c = pend_cost[s]
+                if M <= j:
+                    if c < best_c or (c == best_c and M < best_M):
+                        best_c = c
+                        best_M = M
+                    pend_cost[s] = c + lam
+                    pend_parent[s] = M
+                    pend_dec[s] = 0  # drop
+                elif keep_wins:
+                    pend_cost[s] = c + keep_cost
+                    pend_parent[s] = M
+                    pend_dec[s] = 1  # keep
+                else:
+                    pend_cost[s] = c + lam
+                    pend_parent[s] = M
+                    pend_dec[s] = 0  # drop
+            base_parent = base_M
+            base_dec = 0  # drop
+            base_cost = base_cost + lam
+            s_i = servers[i]
+            pend_M[s_i] = j
+            pend_cost[s_i] = best_c + keep_cost
+            pend_parent[s_i] = best_M
+            pend_dec[s_i] = 1  # keep
+        if i < n:
+            uncovered = base_cost + mu * (times[i + 1] - times[i])
+            s_next = servers[i + 1]
+            merged = False
+            if pend_M[s_next] == i + 1:
+                rc = pend_cost[s_next]
+                rp = pend_parent[s_next]
+                rd = pend_dec[s_next]
+                pend_M[s_next] = sentinel
+                pend_cost[s_next] = np.inf
+                if rc <= uncovered:
+                    base_cost = rc
+                    hist_base_key[i] = i + 1
+                    hist_base_parent[i] = rp
+                    hist_base_dec[i] = rd
+                    hist_base_bb[i] = False
+                    merged = True
+            if not merged:
+                base_cost = uncovered
+                hist_base_key[i] = i + 1
+                hist_base_parent[i] = base_parent
+                hist_base_dec[i] = base_dec
+                hist_base_bb[i] = True
+            base_M = i + 1
+        else:
+            hist_base_key[i] = base_M
+            hist_base_parent[i] = base_parent
+            hist_base_dec[i] = base_dec
+            hist_base_bb[i] = False
+        for s in range(m):
+            hist_pend_M[i, s] = pend_M[s]
+            hist_pend_parent[i, s] = pend_parent[s]
+            hist_pend_dec[i, s] = pend_dec[s]
+
+    # backtrack the single surviving frontier state (M = n); the base
+    # entry and the pend slots never share an M (the only slot that
+    # could carry the base key was merged and retired at the gap step)
+    decisions = np.full(n + 1, -1, dtype=np.int8)
+    backbone = np.zeros(n + 1, dtype=np.bool_)
+    M = n
+    for i in range(n, -1, -1):
+        if hist_base_key[i] == M:
+            decisions[i] = hist_base_dec[i]
+            if hist_base_bb[i]:
+                backbone[i] = True
+            M = hist_base_parent[i]
+        else:
+            for s in range(m):
+                if hist_pend_M[i, s] == M:
+                    decisions[i] = hist_pend_dec[i, s]
+                    M = hist_pend_parent[i, s]
+                    break
+    return base_transfers + base_cost, decisions, backbone
+
+
+#: Indirection the batched kernel calls through; rebound to the JIT
+#: dispatcher when numba compiles (a module-global dispatcher is the
+#: cache-friendly way for one njit kernel to call another).
+_unit_cost_impl = _kernel_unit_cost
+
+
+def _kernel_many_costs(flat_servers, flat_times, offsets, mu, lam, m, out):
+    """Batched lowering: price ``B`` concatenated units in one call."""
+    for b in range(offsets.shape[0] - 1):
+        lo = offsets[b]
+        hi = offsets[b + 1]
+        out[b] = _unit_cost_impl(flat_servers[lo:hi], flat_times[lo:hi], mu, lam, m)
+
+
+# ---------------------------------------------------------------------------
+# runtime state: one probe per process, warn-once fallback accounting
+# ---------------------------------------------------------------------------
+class _Runtime:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.mode: Optional[str] = None  # "jit" | "python" | "disabled"
+        self.reason: Optional[str] = None
+        self.kernels: Optional[Tuple] = None  # (unit_cost, unit_solve, many)
+        self.warmed = False
+        self.jit_seconds = 0.0
+        self.fallbacks = 0
+        self.warned = False
+
+
+_RT = _Runtime()
+
+
+def _probe_locked() -> None:
+    global _unit_cost_impl
+    if _RT.mode is not None:
+        return
+    if os.environ.get("REPRO_NO_NUMBA", "") == "1":
+        _RT.mode = "disabled"
+        _RT.reason = "disabled by REPRO_NO_NUMBA=1"
+        return
+    if os.environ.get("REPRO_COMPILED_FORCE", "") == "python":
+        _unit_cost_impl = _kernel_unit_cost
+        _RT.kernels = (_kernel_unit_cost, _kernel_unit_solve, _kernel_many_costs)
+        _RT.mode = "python"
+        return
+    try:
+        from numba import njit  # noqa: PLC0415 - optional dependency
+    except Exception as exc:  # pragma: no cover - exercised via REPRO_NO_NUMBA
+        _RT.mode = "disabled"
+        _RT.reason = f"numba unavailable ({exc.__class__.__name__}: {exc})"
+        return
+    try:
+        jit_cost = njit(cache=True)(_kernel_unit_cost)
+        jit_solve = njit(cache=True)(_kernel_unit_solve)
+        _unit_cost_impl = jit_cost
+        jit_many = njit(cache=True)(_kernel_many_costs)
+    except Exception as exc:  # pragma: no cover - defensive
+        _unit_cost_impl = _kernel_unit_cost
+        _RT.mode = "disabled"
+        _RT.reason = f"numba jit wrapping failed ({exc})"
+        return
+    _RT.kernels = (jit_cost, jit_solve, jit_many)
+    _RT.mode = "jit"
+
+
+def _kernels() -> Optional[Tuple]:
+    with _RT.lock:
+        _probe_locked()
+        return _RT.kernels
+
+
+def mode() -> Optional[str]:
+    """``"jit"`` (numba-compiled), ``"python"`` (forced uncompiled
+    kernels, test/debug), or ``"disabled"``."""
+    with _RT.lock:
+        _probe_locked()
+        return _RT.mode
+
+
+def available() -> bool:
+    """Can ``backend="compiled"`` actually run kernels in this process?
+
+    True under a working numba JIT and under the forced pure-python
+    mode (``REPRO_COMPILED_FORCE=python``); False when the backend
+    would fall back to sparse.
+    """
+    return mode() in ("jit", "python")
+
+
+def disabled_reason() -> Optional[str]:
+    """Why the compiled backend is unavailable (``None`` when it is)."""
+    with _RT.lock:
+        _probe_locked()
+        return _RT.reason
+
+
+def reset() -> None:
+    """Forget the probe/warm-up state (test hook: re-reads the env)."""
+    global _unit_cost_impl
+    with _RT.lock:
+        _RT.mode = None
+        _RT.reason = None
+        _RT.kernels = None
+        _RT.warmed = False
+        _RT.jit_seconds = 0.0
+        _RT.fallbacks = 0
+        _RT.warned = False
+        _unit_cost_impl = _kernel_unit_cost
+
+
+def note_fallback(context: str = "") -> None:
+    """Count one compiled→sparse fallback; WARN once per process."""
+    with _RT.lock:
+        _RT.fallbacks += 1
+        first = not _RT.warned
+        _RT.warned = True
+        reason = _RT.reason or "kernel rejected the input"
+    if first:
+        log.warning(
+            "compiled DP backend unavailable%s (%s); falling back to the "
+            "sparse backend",
+            f" [{context}]" if context else "",
+            reason,
+        )
+
+
+def fallback_count() -> int:
+    """Process-wide count of compiled→sparse fallbacks."""
+    with _RT.lock:
+        return _RT.fallbacks
+
+
+def jit_compile_seconds() -> float:
+    """Wall seconds spent inside :func:`warm_up` compiles so far."""
+    with _RT.lock:
+        return _RT.jit_seconds
+
+
+def warm_up(force: bool = False) -> float:
+    """Compile (or cache-load) every kernel once; return the seconds spent.
+
+    Idempotent per process: later calls return ``0.0`` unless ``force``.
+    The engine invokes this in the parent before opening a pool -- with
+    ``cache=True`` the compile lands machine code on disk, so forked
+    workers inherit the hot dispatchers and spawned workers load the
+    cache instead of re-JITting -- and records the returned wall time
+    under the ``engine.jit_compile_seconds`` telemetry family.
+    """
+    kern = _kernels()
+    if kern is None:
+        return 0.0
+    with _RT.lock:
+        if _RT.warmed and not force:
+            return 0.0
+        _RT.warmed = True
+    t0 = time.perf_counter()
+    servers = np.array([0, 0], dtype=np.int64)
+    times = np.array([0.0, 1.0], dtype=np.float64)
+    kern[0](servers, times, 1.0, 1.0, 1)
+    kern[1](servers, times, 1.0, 1.0, 1)
+    out = np.empty(1, dtype=np.float64)
+    kern[2](servers, times, np.array([0, 2], dtype=np.int64), 1.0, 1.0, 1, out)
+    dt = time.perf_counter() - t0
+    with _RT.lock:
+        _RT.jit_seconds += dt
+    return dt
+
+
+def resolve_backend(requested: str, units: int = 1) -> str:
+    """Resolve ``"auto"`` to a concrete DP backend.
+
+    Preference order: the compiled kernels when available, the batched
+    numpy kernel when the workload has at least :data:`AUTO_BATCH_UNITS`
+    serving units (enough to amortise padding/stacking), the sparse
+    scalar sweep otherwise.  Non-``"auto"`` requests pass through.
+    """
+    if requested != "auto":
+        return requested
+    if available():
+        return "compiled"
+    if units >= AUTO_BATCH_UNITS:
+        return "batched"
+    return "sparse"
+
+
+# ---------------------------------------------------------------------------
+# solver entry points (None => caller falls back to the sparse backend)
+# ---------------------------------------------------------------------------
+def _event_arrays(view: SingleItemView) -> Tuple[np.ndarray, np.ndarray]:
+    """Event arrays with the origin prepended; int64/float64 normalised
+    (store-backed int32 server columns widen here)."""
+    servers = np.asarray(view.servers)
+    times = np.asarray(view.times, dtype=np.float64)
+    n = times.shape[0]
+    ev_s = np.empty(n + 1, dtype=np.int64)
+    ev_t = np.empty(n + 1, dtype=np.float64)
+    ev_s[0] = view.origin
+    ev_t[0] = 0.0
+    if n:
+        ev_s[1:] = servers
+        ev_t[1:] = times
+    return ev_s, ev_t
+
+
+def _check_times(view: SingleItemView) -> None:
+    times = view.times
+    if len(times) and float(times[0]) <= 0.0:
+        raise ValueError(
+            "single-item solvers require strictly positive request times "
+            "(time 0 is the initial placement instant)"
+        )
+
+
+def unit_cost(
+    view: SingleItemView, model: CostModel, rate_multiplier: float = 1.0
+) -> Optional[float]:
+    """Compiled ``optimal_cost``; ``None`` when the caller must fall back."""
+    kern = _kernels()
+    if kern is None:
+        note_fallback("optimal_cost")
+        return None
+    _check_times(view)
+    try:
+        ev_s, ev_t = _event_arrays(view)
+        if ev_s.shape[0] == 1:
+            return 0.0
+        total = kern[0](ev_s, ev_t, float(model.mu), float(model.lam),
+                        int(view.num_servers))
+    except Exception:
+        note_fallback("optimal_cost kernel")
+        return None
+    return float(total) * rate_multiplier
+
+
+def unit_solve(
+    view: SingleItemView, model: CostModel
+) -> Optional[Tuple[float, List[int], List[int]]]:
+    """Compiled path solve: ``(base + dp cost, decisions, backbone_gaps)``.
+
+    The cost is pre-rate-multiplier (the caller applies it exactly like
+    the sparse path); decisions/backbone match the sparse backend's
+    reconstruction inputs element for element.  ``None`` => fall back.
+    """
+    kern = _kernels()
+    if kern is None:
+        note_fallback("solve_optimal")
+        return None
+    _check_times(view)
+    try:
+        ev_s, ev_t = _event_arrays(view)
+        if ev_s.shape[0] == 1:
+            return 0.0, [_NODECISION], []
+        total, decisions, backbone = kern[1](
+            ev_s, ev_t, float(model.mu), float(model.lam), int(view.num_servers)
+        )
+    except Exception:
+        note_fallback("solve_optimal kernel")
+        return None
+    return (
+        float(total),
+        [int(d) for d in decisions],
+        [int(i) for i in np.nonzero(backbone)[0]],
+    )
+
+
+def batched_costs(
+    views: Sequence[SingleItemView],
+    model: CostModel,
+    rate_multipliers: Optional[Sequence[float]] = None,
+) -> Optional[np.ndarray]:
+    """Compiled ``batched_optimal_costs``; ``None`` => caller falls back.
+
+    The caller (:func:`repro.cache.batched_dp.batched_optimal_costs`)
+    validates the rate-multiplier length; per-view time positivity is
+    checked here with the scalar solvers' message.
+    """
+    kern = _kernels()
+    if kern is None:
+        note_fallback("batched_optimal_costs")
+        return None
+    B = len(views)
+    if B == 0:
+        return np.zeros(0, dtype=np.float64)
+    for view in views:
+        _check_times(view)
+    try:
+        n_events = np.empty(B + 1, dtype=np.int64)
+        n_events[0] = 0
+        for b, view in enumerate(views):
+            n_events[b + 1] = len(view.times) + 1
+        offsets = np.cumsum(n_events)
+        flat_s = np.empty(int(offsets[-1]), dtype=np.int64)
+        flat_t = np.empty(int(offsets[-1]), dtype=np.float64)
+        m = 1
+        for b, view in enumerate(views):
+            lo = int(offsets[b])
+            hi = int(offsets[b + 1])
+            flat_s[lo] = view.origin
+            flat_t[lo] = 0.0
+            if hi - lo > 1:
+                flat_s[lo + 1 : hi] = np.asarray(view.servers)
+                flat_t[lo + 1 : hi] = np.asarray(view.times, dtype=np.float64)
+            if view.num_servers > m:
+                m = view.num_servers
+        out = np.empty(B, dtype=np.float64)
+        kern[2](flat_s, flat_t, offsets, float(model.mu), float(model.lam),
+                int(m), out)
+    except Exception:
+        note_fallback("batched kernel")
+        return None
+    if rate_multipliers is not None:
+        out = out * np.asarray(rate_multipliers, dtype=np.float64)
+    return out

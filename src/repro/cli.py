@@ -109,13 +109,17 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--dp-backend",
-        choices=("sparse", "dense", "batched"),
+        choices=("sparse", "dense", "batched", "compiled", "auto"),
         default="sparse",
         help=(
             "Phase-2 single-item DP backend: 'sparse' (default) is the "
             "O(n*m) frontier sweep, 'dense' the O(n^2*m) cross-check "
             "table, 'batched' the lockstep numpy kernel that solves "
-            "whole length-buckets of units at once (bit-identical costs)"
+            "whole length-buckets of units at once, 'compiled' the "
+            "numba-JIT kernels (falls back to sparse with a WARNING "
+            "when numba is unavailable or REPRO_NO_NUMBA=1), 'auto' "
+            "picks compiled->batched->sparse by availability and unit "
+            "count (bit-identical costs throughout)"
         ),
     )
     parser.add_argument(

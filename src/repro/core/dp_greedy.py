@@ -175,7 +175,8 @@ def serve_singleton(
     decomposes the DP cost into per-request ledger charges (with
     ``dp_cost`` injection the matching ``dp_attribution`` must be
     supplied -- the memo stores both together).  ``dp_backend`` picks
-    the solver backend (``"sparse"``/``"dense"``/``"batched"``).
+    the solver backend
+    (``"sparse"``/``"dense"``/``"batched"``/``"compiled"``/``"auto"``).
     """
     if sub is None:
         sub = seq.item_view(item)
@@ -314,7 +315,7 @@ def serve_package(
     the sequence's cached columnar projection
     (:meth:`~repro.cache.model.RequestSequence.group_view`).
     ``dp_backend`` picks the co-occurrence solver backend
-    (``"sparse"``/``"dense"``/``"batched"``).
+    (``"sparse"``/``"dense"``/``"batched"``/``"compiled"``/``"auto"``).
     """
     k = len(package)
     if k < 2:
@@ -469,11 +470,18 @@ def solve_dp_greedy(
         counters.
     dp_backend:
         Phase-2 solver backend per serving unit: ``"sparse"`` (default),
-        ``"dense"`` (the cross-check reference), or ``"batched"`` -- the
-        vectorized lockstep kernel of :mod:`repro.cache.batched_dp`.
-        ``"batched"`` implies the execution engine, whose scheduler
-        buckets memo-miss units by length and solves whole buckets per
-        dispatch; all backends produce bit-identical costs.
+        ``"dense"`` (the cross-check reference), ``"batched"`` -- the
+        vectorized lockstep kernel of :mod:`repro.cache.batched_dp` --,
+        ``"compiled"`` -- the numba-JIT kernels of
+        :mod:`repro.cache.compiled_dp`, silently degrading to sparse
+        (one WARNING, counted on ``engine_stats.compiled_fallbacks``)
+        when numba is unavailable --, or ``"auto"``, which picks
+        compiled -> batched -> sparse by availability and unit count
+        once the packing fixes how many serving units there are.
+        ``"batched"``/``"compiled"``/``"auto"`` imply the execution
+        engine, whose scheduler buckets memo-miss units by length and
+        solves whole buckets per dispatch; all backends produce
+        bit-identical costs.
     telemetry:
         Optional :class:`~repro.obs.telemetry.Telemetry` hub (``None``
         picks up any process-wide hub installed via
@@ -490,7 +498,7 @@ def solve_dp_greedy(
 
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
-    if dp_backend not in ("sparse", "dense", "batched"):
+    if dp_backend not in ("sparse", "dense", "batched", "compiled", "auto"):
         raise ValueError(f"unknown DP backend {dp_backend!r}")
     # fail fast on corrupt inputs, with request indices in the message,
     # rather than deep inside a DP recurrence
@@ -558,7 +566,7 @@ def _solve_dp_greedy_observed(
         or pool is not None
         or memo not in (None, False)
         or resilience not in (None, False)
-        or dp_backend == "batched"
+        or dp_backend in ("batched", "compiled", "auto")
     )
     if use_engine:
         from ..engine.memo import SolverMemo, get_default_memo

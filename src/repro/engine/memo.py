@@ -58,9 +58,27 @@ def fingerprint_view(
     their fingerprints byte-identical to in-memory tuple/array views of
     the same trajectory -- a store-backed solve hits the same memo
     entries as the in-memory solve of the same trace.
+
+    A :class:`RequestSequence` whose columnar cache is already
+    materialised hashes ``servers_array``/``times_array`` directly via
+    ``ndarray.tobytes()`` (they are already int64/float64) instead of
+    rebuilding the trajectory as tuples through ``single_item_view`` --
+    same bytes, same digest, no per-request Python objects.  Item sets
+    are non-empty by construction, so a ≤1-item universe is exactly the
+    ``single_item_view`` validity condition.
     """
     if isinstance(view, RequestSequence):
-        view = view.single_item_view()
+        cols = view.__dict__.get("_cols_cache")
+        if cols is not None and len(view.items) <= 1:
+            servers_bytes = cols[0].tobytes()
+            times_bytes = cols[1].tobytes()
+        else:
+            view = view.single_item_view()
+            servers_bytes = np.asarray(view.servers, dtype=np.int64).tobytes()
+            times_bytes = np.asarray(view.times, dtype=np.float64).tobytes()
+    else:
+        servers_bytes = np.asarray(view.servers, dtype=np.int64).tobytes()
+        times_bytes = np.asarray(view.times, dtype=np.float64).tobytes()
     h = hashlib.blake2b(digest_size=16)
     h.update(
         struct.pack(
@@ -72,8 +90,8 @@ def fingerprint_view(
             rate_multiplier,
         )
     )
-    h.update(np.asarray(view.servers, dtype=np.int64).tobytes())
-    h.update(np.asarray(view.times, dtype=np.float64).tobytes())
+    h.update(servers_bytes)
+    h.update(times_bytes)
     return h.digest()
 
 

@@ -52,6 +52,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from ..cache import compiled_dp
 from ..cache.batched_dp import batched_optimal_costs, length_buckets, pad_waste
 from ..cache.model import (
     CostModel,
@@ -91,7 +92,7 @@ PROCESS_POOL_NODES = 16_384
 # Tuples keep pickling cheap and deterministic.
 _UnitSpec = Tuple[str, Union[Tuple[int, ...], int, Tuple]]
 
-_DP_BACKENDS = ("sparse", "dense", "batched")
+_DP_BACKENDS = ("sparse", "dense", "batched", "compiled", "auto")
 
 
 @dataclass(frozen=True)
@@ -103,9 +104,13 @@ class EngineStats:
     zero on the classic path; ``pool`` always records the backend the
     heuristic *picked* -- pool degradation is visible through
     ``pool_fallbacks``.  ``batches``/``pad_waste`` are produced by the
-    batched scheduler (``dp_backend="batched"``): bucket count
-    dispatched through the kernel and the padded-slot fraction its
-    length bucketing wasted.
+    batched scheduler (``dp_backend="batched"`` or ``"compiled"``):
+    bucket count dispatched through the kernel and the padded-slot
+    fraction its length bucketing wasted.  ``compiled_units`` counts
+    the pending units priced by the compiled kernels and
+    ``compiled_fallbacks`` the parent-side compiled -> sparse
+    degradations (numba missing, ``REPRO_NO_NUMBA=1``, kernel
+    rejection); ``dp_backend`` records the backend that actually ran.
     """
 
     units: int
@@ -124,6 +129,8 @@ class EngineStats:
     batches: int = 0  # length buckets dispatched through the kernel
     pad_waste: float = 0.0  # padded-slot fraction wasted by bucketing
     shards: int = 0  # shard dispatches of a sharded solve (0 = unsharded)
+    compiled_units: int = 0  # pending units priced by the compiled kernels
+    compiled_fallbacks: int = 0  # compiled -> sparse degradations (parent side)
     dp_backend: str = "sparse"
 
     @property
@@ -210,14 +217,18 @@ def _solve_batch(
     specs: Tuple[_UnitSpec, ...],
     model: CostModel,
     alpha: float,
+    dp_backend: str = "batched",
 ) -> BatchResult:
-    """Price one length bucket through the lockstep kernel."""
+    """Price one length bucket through the lockstep kernel
+    (``dp_backend="compiled"`` routes it through the numba lowering,
+    degrading to the numpy kernel bit-identically)."""
     views = [_unit_view(seq, spec) for spec in specs]
     rates = [
         package_rate(len(payload), alpha) if kind == "package" else 1.0
         for kind, payload in specs
     ]
-    costs = batched_optimal_costs(views, model, rates)
+    kernel = "compiled" if dp_backend == "compiled" else "batched"
+    costs = batched_optimal_costs(views, model, rates, backend=kernel)
     return BatchResult(costs=tuple(float(c) for c in costs))
 
 
@@ -241,14 +252,14 @@ def _solve_shard(
     :mod:`repro.obs.telemetry`) receives per-bucket / per-inner-unit
     solve latencies.
     """
-    if dp_backend == "batched" and not build_schedules and not attribute:
+    if dp_backend in ("batched", "compiled") and not build_schedules and not attribute:
         idxs = list(range(len(specs)))
         lengths = {i: len(_unit_view(seq, specs[i])) for i in idxs}
         costs: Dict[int, float] = {}
         for bucket in length_buckets(idxs, lengths):
             t0 = time.perf_counter() if recorder is not None else 0.0
             batch = _solve_batch(
-                seq, tuple(specs[i] for i in bucket), model, alpha
+                seq, tuple(specs[i] for i in bucket), model, alpha, dp_backend
             )
             if recorder is not None:
                 recorder.record(_telemetry.H_BATCH, time.perf_counter() - t0)
@@ -285,7 +296,7 @@ def _serve_unit(
         # whole bucket in one kernel call; the scheduler only emits
         # batch specs in cost-only mode (no schedules, no attribution)
         t0 = time.perf_counter() if recorder is not None else 0.0
-        batch = _solve_batch(seq, payload, model, alpha)
+        batch = _solve_batch(seq, payload, model, alpha, dp_backend)
         if recorder is not None:
             recorder.record(_telemetry.H_BATCH, time.perf_counter() - t0)
         return batch
@@ -362,6 +373,11 @@ def _init_worker(
         seq, model, alpha, build_schedules, attribute, dp_backend, telemetry
     )
     _WORKER_TRACER = Tracer() if trace else None
+    if dp_backend == "compiled":
+        # fork: the parent's warm-up state is inherited and this is a
+        # no-op; spawn: the probe loads machine code from the on-disk
+        # numba cache the parent's warm-up populated, no re-JIT
+        compiled_dp.warm_up()
     # under fork the worker inherits the parent's installed telemetry
     # hub; its sampler/watchdog threads did not survive the fork, so
     # clear it -- workers record through an explicit UnitRecorder and
@@ -627,9 +643,19 @@ def serve_plan(
         deterministic fault injection.  ``None``/``False`` (default)
         keeps the classic dispatch path byte-for-byte.
     dp_backend:
-        Per-unit solver backend (``"sparse"``/``"dense"``/``"batched"``).
-        Under ``"batched"`` in cost-only mode (no schedules, no
-        attribution) the scheduler buckets memo-miss units by length
+        Per-unit solver backend (``"sparse"``/``"dense"``/``"batched"``/
+        ``"compiled"``/``"auto"``).  ``"compiled"`` runs the numba-JIT
+        kernels (:mod:`repro.cache.compiled_dp`): the parent warms the
+        compile up once before dispatch (recorded under the
+        ``engine.jit_compile_seconds`` telemetry family) and pool
+        workers hit the on-disk numba cache instead of re-JITting; when
+        the kernels are unavailable (numba missing, ``REPRO_NO_NUMBA=1``)
+        the call silently degrades to ``"sparse"`` with one WARNING and
+        a ``compiled_fallbacks`` count.  ``"auto"`` picks
+        compiled -> batched -> sparse by availability and unit count.
+        Under ``"batched"``/``"compiled"`` in cost-only mode (no
+        schedules, no attribution) the scheduler buckets memo-miss
+        units by length
         (:func:`~repro.cache.batched_dp.length_buckets` over the shared
         ``_unit_sizes`` estimate, bounding pad waste), dispatches whole
         buckets through the same pool/resilience machinery as one
@@ -657,6 +683,19 @@ def serve_plan(
     units = _plan_units(plan)
     n_packages = len(plan.packages)
     use_memo = memo is not None and not build_schedules
+
+    compiled_fb_before = compiled_dp.fallback_count()
+    dp_backend = compiled_dp.resolve_backend(dp_backend, len(units))
+    if dp_backend == "compiled":
+        if not compiled_dp.available():
+            # engine-level degradation: count it and run sparse; the
+            # per-call kernels never even get asked
+            compiled_dp.note_fallback("serve_plan")
+            dp_backend = "sparse"
+        else:
+            jit_seconds = compiled_dp.warm_up()
+            if telemetry is not None and jit_seconds > 0.0:
+                telemetry.record(_telemetry.H_JIT, jit_seconds)
 
     # one sizes pass for the whole plan: pool auto-selection and batch
     # bucketing share it instead of re-deriving per phase
@@ -686,7 +725,7 @@ def serve_plan(
 
     # -- batch scheduling (dp_backend="batched", cost-only mode) ---------
     batch_mode = (
-        dp_backend == "batched"
+        dp_backend in ("batched", "compiled")
         and not build_schedules
         and not attribute
         and bool(pending)
@@ -880,6 +919,8 @@ def serve_plan(
         stalls=(tele.board.stalls - stalls_before) if tele is not None else 0,
         batches=len(buckets),
         pad_waste=waste,
+        compiled_units=len(pending) if dp_backend == "compiled" else 0,
+        compiled_fallbacks=compiled_dp.fallback_count() - compiled_fb_before,
         dp_backend=dp_backend,
     )
     return [r for r in reports if r is not None], stats

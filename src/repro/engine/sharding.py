@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cache import compiled_dp
 from ..cache.model import CostModel, RequestSequence
 from ..core.dp_greedy import DPGreedyResult, GroupReport, _null_timer
 from ..correlation.jaccard import correlation_stats
@@ -38,7 +39,7 @@ from ..correlation.packing import (
     greedy_group_packing,
     greedy_pair_packing,
 )
-from ..obs.telemetry import Telemetry, active as active_telemetry
+from ..obs.telemetry import H_JIT, Telemetry, active as active_telemetry
 from ..obs.tracing import maybe_span
 from .memo import SolverMemo, get_default_memo
 from .parallel import (
@@ -231,7 +232,7 @@ def solve_dp_greedy_sharded(
     """
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
-    if dp_backend not in ("sparse", "dense", "batched"):
+    if dp_backend not in ("sparse", "dense", "batched", "compiled", "auto"):
         raise ValueError(f"unknown DP backend {dp_backend!r}")
     seq.validate()
     observe = obs is not None
@@ -302,6 +303,21 @@ def _solve_sharded_inner(
         raise TypeError("memo must be a SolverMemo, True, False, or None")
 
     units = _plan_units(plan)
+
+    # resolve "auto" / degrade an unavailable "compiled" exactly like
+    # serve_plan, and warm the JIT up in the parent so shard workers hit
+    # the on-disk numba cache
+    compiled_fb_before = compiled_dp.fallback_count()
+    dp_backend = compiled_dp.resolve_backend(dp_backend, len(units))
+    if dp_backend == "compiled":
+        if not compiled_dp.available():
+            compiled_dp.note_fallback("solve_dp_greedy_sharded")
+            dp_backend = "sparse"
+        else:
+            jit_seconds = compiled_dp.warm_up()
+            if tele is not None and jit_seconds > 0.0:
+                tele.record(H_JIT, jit_seconds)
+
     all_sizes = _unit_sizes(seq, units)
     reports: List[Optional[GroupReport]] = [None] * len(units)
     pending: List[int] = []
@@ -437,6 +453,8 @@ def _solve_sharded_inner(
         units_failed=units_failed,
         stalls=(tele.board.stalls - stalls_before) if tele is not None else 0,
         shards=len(shard_specs),
+        compiled_units=len(pending) if dp_backend == "compiled" else 0,
+        compiled_fallbacks=compiled_dp.fallback_count() - compiled_fb_before,
         dp_backend=dp_backend,
     )
 

@@ -79,6 +79,9 @@ H_SHARD = "phase2.shard_seconds"
 H_DISPATCH = "engine.dispatch_seconds"
 #: Backoff delays scheduled between a unit's retries.
 H_BACKOFF = "engine.backoff_seconds"
+#: One-time numba warm-up compile of the compiled DP kernels (recorded
+#: by the engine before dispatch when ``dp_backend="compiled"``).
+H_JIT = "engine.jit_compile_seconds"
 
 
 class LatencyHistogram:

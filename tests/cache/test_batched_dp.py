@@ -181,6 +181,25 @@ class TestBucketing:
         table = {i: 10 for i in range(5)}
         assert pad_waste(length_buckets(list(table), table), table) == 0.0
 
+    def test_identical_lengths_split_evenly_not_trailing_runt(self):
+        # regression: 2049 identical huge lengths at max_batch=1024 used
+        # to produce [1024, 1024, 1] -- a degenerate 1-unit trailing
+        # batch.  Groups larger than max_batch now split near-evenly.
+        table = {i: 100_000 for i in range(2049)}
+        buckets = length_buckets(list(table), table, max_batch=1024)
+        sizes = [len(b) for b in buckets]
+        assert sizes == [683, 683, 683]
+        assert sorted(i for b in buckets for i in b) == sorted(table)
+
+    def test_even_split_sizes_differ_by_at_most_one(self):
+        for k in (1, 5, 1024, 1025, 2048, 2049, 3000):
+            table = {i: 7 for i in range(k)}
+            buckets = length_buckets(list(table), table, max_batch=1024)
+            sizes = [len(b) for b in buckets]
+            assert sum(sizes) == k
+            assert max(sizes) - min(sizes) <= 1
+            assert max(sizes) <= 1024
+
 
 class TestEngineBatchScheduler:
     def _workload(self, n=300, seed=5):

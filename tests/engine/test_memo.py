@@ -41,6 +41,53 @@ class TestFingerprint:
             seq.single_item_view(), unit_model
         )
 
+    def test_identical_across_tuple_array_and_mmap_views(
+        self, unit_model, tmp_path
+    ):
+        # the fingerprint is content-addressed: the same logical request
+        # stream must hash identically no matter how the columns are
+        # held -- python tuples, int64/float64 arrays, narrow int32
+        # store columns, or a RequestSequence with materialized caches
+        # (which takes the tobytes() fast path)
+        import numpy as np
+
+        from repro.cache.model import RequestSequence
+        from repro.trace.store import TraceStore, write_store
+
+        servers = (0, 1, 0, 1)
+        times = (1.0, 2.0, 3.5, 4.25)
+        base = fingerprint_view(
+            _view(servers=servers, times=times), unit_model
+        )
+
+        arr_view = _view(
+            servers=np.array(servers, dtype=np.int64),
+            times=np.array(times, dtype=np.float64),
+        )
+        assert fingerprint_view(arr_view, unit_model) == base
+
+        narrow_view = _view(
+            servers=np.array(servers, dtype=np.int32),
+            times=np.array(times, dtype=np.float64),
+        )
+        assert fingerprint_view(narrow_view, unit_model) == base
+
+        seq = RequestSequence(
+            tuple((s, t, {1}) for s, t in zip(servers, times)),
+            num_servers=2,
+            origin=0,
+        )
+        # cold sequence: no _cols_cache yet, slow path
+        assert fingerprint_view(seq, unit_model) == base
+        # materialize the columnar cache, exercising the fast path
+        _ = seq.servers_array, seq.times_array
+        assert seq.__dict__.get("_cols_cache") is not None
+        assert fingerprint_view(seq, unit_model) == base
+
+        # memory-mapped store columns hash the same as in-memory ones
+        sseq = TraceStore.open(write_store(seq, tmp_path / "s"))
+        assert fingerprint_view(sseq.item_view(1), unit_model) == base
+
 
 class TestSolverMemo:
     def test_miss_then_hit(self, unit_model):
