@@ -47,7 +47,10 @@ class OnlineResult:
 
 def _coerce(view: "SingleItemView | RequestSequence") -> SingleItemView:
     if isinstance(view, RequestSequence):
-        view = view.single_item_view()
+        # re-audit like solve_dp_greedy: malformed streams (NaN times,
+        # out-of-range servers) fail here with an indexed message
+        # instead of a KeyError inside the replay loop
+        view = view.validate().single_item_view()
     if len(view.times) and view.times[0] <= 0.0:
         raise ValueError("request times must be strictly positive")
     return view

@@ -388,8 +388,27 @@ def build_parser() -> argparse.ArgumentParser:
             "the trace.rows_skipped metrics counter with --metrics)"
         ),
     )
+    solve.add_argument(
+        "--prom-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --prom, re-write the exposition file every SECONDS "
+            "while the solve runs (atomic tmp-then-rename, so scrapers "
+            "never see a torn file); the final exposition still lands "
+            "on completion"
+        ),
+    )
     _add_engine_flags(solve)
     _add_logging_flags(solve, suppress=True)
+
+    from .serve.cli import add_loadtest_parser, add_serve_parser
+
+    serve_parser = add_serve_parser(sub)
+    _add_logging_flags(serve_parser, suppress=True)
+    loadtest_parser = add_loadtest_parser(sub)
+    _add_logging_flags(loadtest_parser, suppress=True)
 
     trace_cmd = sub.add_parser(
         "trace",
@@ -626,6 +645,21 @@ def _solve_trace(args: argparse.Namespace) -> int:
     with _telemetry_session(
         telemetry_on, args.stall_after, args.progress
     ) as tele:
+        flusher = None
+        if (
+            args.prom is not None
+            and args.prom_interval is not None
+            and tele is not None
+        ):
+            # interval exposition: a scraper watching PATH sees live
+            # mid-solve quantiles, atomically re-written
+            from .obs.telemetry import PrometheusFlusher, live_snapshot
+
+            flusher = PrometheusFlusher(
+                lambda: live_snapshot(tele),
+                args.prom,
+                interval=args.prom_interval,
+            ).start()
         if args.shards is not None:
             from .engine.sharding import solve_dp_greedy_sharded
 
@@ -659,6 +693,8 @@ def _solve_trace(args: argparse.Namespace) -> int:
                 resilience=_resilience_from_args(args),
                 telemetry=tele,
             )
+    if flusher is not None:
+        flusher.stop()
     opt = solve_optimal_nonpacking(seq, model)
     pkg = solve_package_served(seq, model, theta=args.theta, alpha=args.alpha)
     print(f"packages: {[sorted(p) for p in dpg.plan.packages]}")
@@ -812,6 +848,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _render_schedules(args)
     if args.command == "solve":
         return _solve_trace(args)
+    if args.command == "serve":
+        from .serve.cli import run_serve
+
+        return run_serve(args)
+    if args.command == "loadtest":
+        from .serve.cli import run_loadtest
+
+        return run_loadtest(args)
     if args.command == "trace":
         if args.trace_command == "convert":
             return _convert_trace(args)

@@ -76,13 +76,43 @@ class StreamingCorrelation:
     def hot_pairs(self, theta: float) -> List[Tuple[float, int, int]]:
         """Pairs currently above ``theta`` and past warm-up, sorted by
         descending similarity (deterministic ties)."""
+        return self.pairs_by_similarity(threshold=theta)
+
+    # ------------------------------------------------------------------
+    # the packing surface: the same query API the batch statistics
+    # (CorrelationStats / SparseCorrelationStats) expose, so Phase-1
+    # re-packing (greedy_pair_packing / greedy_group_packing) runs
+    # straight off the streaming state -- the serving engine's
+    # background re-packer does exactly that.  Both methods are
+    # read-only: a re-packing epoch never perturbs the counts, which is
+    # what keeps the prefix-equivalence pin intact across epochs.
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> Tuple[int, ...]:
+        """Every item observed so far, ascending (the packing universe)."""
+        return tuple(sorted(self.counts))
+
+    def pairs_by_similarity(
+        self, *, threshold: Optional[float] = None
+    ) -> List[Tuple[float, int, int]]:
+        """Co-occurring pairs as ``(J, d_i, d_j)`` sorted by descending J.
+
+        Mirrors the batch backends' ordering contract (ties break on the
+        item identifiers) with one streaming-specific addition: pairs
+        whose items are still inside the ``min_observations`` warm-up
+        are withheld -- the on-line algorithm must not pack on a first
+        coincidental co-occurrence, and neither may a re-packing epoch.
+        With ``threshold=theta`` only pairs with ``J > theta`` (strict,
+        matching the packing rule) are returned.
+        """
         out: List[Tuple[float, int, int]] = []
         for pair in self.co_counts:
             a, b = sorted(pair)
             if not self.ready(a, b):
                 continue
             j = self.similarity(a, b)
-            if j > theta:
-                out.append((j, a, b))
+            if threshold is not None and j <= threshold:
+                continue
+            out.append((j, a, b))
         out.sort(key=lambda t: (-t[0], t[1], t[2]))
         return out

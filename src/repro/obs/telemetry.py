@@ -53,11 +53,13 @@ __all__ = [
     "LatencyHistogram",
     "ProgressBoard",
     "ProgressRenderer",
+    "PrometheusFlusher",
     "ResourceSampler",
     "Telemetry",
     "WorkerUnitStats",
     "active",
     "install",
+    "live_snapshot",
     "render_dashboard",
     "render_prometheus",
     "sample_resources",
@@ -82,6 +84,18 @@ H_BACKOFF = "engine.backoff_seconds"
 #: One-time numba warm-up compile of the compiled DP kernels (recorded
 #: by the engine before dispatch when ``dp_backend="compiled"``).
 H_JIT = "engine.jit_compile_seconds"
+
+# -- histogram names recorded by the serving engine (repro.serve) -----------
+#: Admission roundtrip: submit -> request enqueued (token-bucket wait
+#: excluded -- a rejected request never records).
+H_ADMIT = "serve.admit_seconds"
+#: Enqueue -> batch collected (queue + collector grouping delay).
+H_BATCH_WAIT = "serve.batch_wait_seconds"
+#: One batch's synchronous decision solve (all ``step`` calls).
+H_SERVE_SOLVE = "serve.solve_seconds"
+#: Admission-to-answer: submit -> future resolved (what the load
+#: generator reports as p50/p99).
+H_E2E = "serve.e2e_seconds"
 
 
 class LatencyHistogram:
@@ -807,13 +821,143 @@ def render_prometheus(
 
 
 def write_prometheus(snapshot: Mapping[str, object], path) -> "os.PathLike":
-    """Write :func:`render_prometheus` output to ``path``; returns it."""
+    """Write :func:`render_prometheus` output to ``path``; returns it.
+
+    The write is atomic (tmp file in the same directory, then
+    ``os.replace``): a scraper reading the file mid-rewrite sees either
+    the previous exposition or the new one, never a torn half-file --
+    the property the interval re-write mode of
+    :class:`PrometheusFlusher` depends on.
+    """
     from pathlib import Path
 
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(render_prometheus(snapshot))
+    tmp = out.with_name(out.name + ".tmp")
+    tmp.write_text(render_prometheus(snapshot))
+    os.replace(tmp, out)
     return out
+
+
+def live_snapshot(
+    telemetry: Optional["Telemetry"] = None,
+    *,
+    counters: Optional[Mapping[str, object]] = None,
+    runs: int = 0,
+    total_cost: float = 0.0,
+) -> Dict[str, object]:
+    """A minimal METRICS-v3-shaped snapshot for mid-run exposition.
+
+    Long-lived runs (the serving engine, interval-flushed solves) need a
+    renderable snapshot *before* any :class:`~repro.obs.metrics.RunObservation`
+    finalizes.  This builds an aggregate-only snapshot straight from the
+    telemetry hub's cumulative histograms and resource peaks plus any
+    caller-supplied counters -- exactly what :func:`render_prometheus`
+    consumes, without touching the metrics collector.
+    """
+    resources: Dict[str, object] = {}
+    latency: Dict[str, Dict[str, object]] = {}
+    if telemetry is not None:
+        latency = telemetry.cumulative_latency()
+        res = telemetry.resources_snapshot()
+        parent = res.get("parent", {})
+        resources = {
+            "peak_rss_bytes": parent.get("peak_rss_bytes", 0),
+            "worker_peak_rss_bytes": max(
+                (rec.get("peak_rss_bytes", 0) for rec in res.get("workers", {}).values()),
+                default=0,
+            ),
+            "cpu_seconds": parent.get("cpu_seconds", 0.0),
+            "samples": parent.get("samples_taken", 0),
+        }
+    numeric = {
+        name: value
+        for name, value in (counters or {}).items()
+        if isinstance(value, (int, float))
+    }
+    return {
+        "schema": "repro.obs/metrics/v3",
+        "runs": [],
+        "aggregate": {
+            "runs": runs,
+            "total_cost": total_cost,
+            "actions": {},
+            "phases": {},
+            "spans": {},
+            "latency": latency,
+            "resources": resources,
+            "counters": dict(sorted(numeric.items())),
+            "max_reconciliation_error": 0.0,
+        },
+    }
+
+
+class PrometheusFlusher:
+    """Interval re-writer keeping a ``--prom`` file fresh while running.
+
+    :func:`write_prometheus` only runs at exit in one-shot solves; a
+    long-lived serve (or a multi-hour sharded solve) scraped by an agent
+    needs the file re-rendered on an interval.  The flusher calls
+    ``snapshot_fn`` every ``interval`` seconds on a daemon thread and
+    atomically rewrites ``path``; :meth:`stop` performs one final flush
+    so the file always ends on the latest state.  Snapshot/render
+    errors are logged and skipped -- a transiently unrenderable
+    snapshot must not kill the service.
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: "callable",
+        path,
+        *,
+        interval: float = 5.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.snapshot_fn = snapshot_fn
+        self.path = path
+        self.interval = float(interval)
+        self.flushes = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def flush(self) -> bool:
+        """One rewrite now; ``True`` when the file was written."""
+        try:
+            write_prometheus(self.snapshot_fn(), self.path)
+        except Exception:  # noqa: BLE001 - exposition must never kill the run
+            log.warning("prometheus flush to %s failed", self.path, exc_info=True)
+            return False
+        self.flushes += 1
+        return True
+
+    def start(self) -> "PrometheusFlusher":
+        if self._thread is None:
+            self._stop.clear()
+            self.flush()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-prom-flusher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.flush()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.flush()
+
+    def __enter__(self) -> "PrometheusFlusher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
 
 
 # ---------------------------------------------------------------------------

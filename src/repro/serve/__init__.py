@@ -1,0 +1,44 @@
+"""``repro.serve``: the always-on DP_Greedy serving engine.
+
+Turns the incremental on-line solver
+(:class:`~repro.core.online_dpg.OnlineDPGreedyState`) into a
+long-running asyncio service with admission control, backpressure,
+deadline shedding, a circuit breaker with graceful ski-rental
+degradation, background Phase-1 re-packing, and a drain-on-signal
+shutdown path.  See ``docs/serving.md`` for the architecture and
+``repro serve`` / ``repro loadtest`` for the CLI entry points.
+"""
+
+from .admission import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionConfig,
+    CircuitBreaker,
+    TokenBucket,
+)
+from .collector import BatchCollector
+from .engine import ServeAnswer, ServeConfig, ServingEngine
+from .loadgen import (
+    LoadTestReport,
+    replay_sequence,
+    run_load_test,
+    workload_requests,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "BatchCollector",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "LoadTestReport",
+    "ServeAnswer",
+    "ServeConfig",
+    "ServingEngine",
+    "TokenBucket",
+    "replay_sequence",
+    "run_load_test",
+    "workload_requests",
+]

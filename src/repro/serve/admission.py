@@ -1,0 +1,217 @@
+"""Admission control for the always-on serving engine.
+
+A live cache service cannot accept every request it is offered: traffic
+beyond capacity must be *rejected at the door* (cheaply, with a
+retry-after hint) rather than queued unboundedly, and a broken solver
+path must stop taking packaged-serving traffic before it corrupts
+state.  This module holds the three ingress primitives the engine
+(:mod:`repro.serve.engine`) composes into its load-shedding ladder:
+
+* :class:`TokenBucket` -- classic rate limiting: a request costs one
+  token, tokens refill at ``rate`` per second up to ``burst``; an empty
+  bucket yields the exact time until the next token (the retry-after
+  hint).
+* :class:`CircuitBreaker` -- CLOSED / OPEN / HALF_OPEN with a cooldown
+  probe: ``threshold`` consecutive batch failures trip it OPEN
+  (packaged serving and background re-packing stop), after ``cooldown``
+  seconds one probe batch runs HALF_OPEN, and its outcome re-closes or
+  re-opens the breaker.
+* :class:`AdmissionConfig` -- the knob bundle (rate/burst, bounded
+  queue size, per-request deadline budget, breaker thresholds).
+
+The ladder, rung by rung (each rung is cheaper than the one below):
+
+1. token bucket empty -> reject with ``retry_after`` (nothing queued);
+2. bounded queue full -> reject with ``retry_after`` (backpressure);
+3. deadline expired while queued/collected -> shed before the batch
+   solve touches any state;
+4. breaker OPEN (solver-path failures or sustained deadline sheds) ->
+   serve degraded at plain ski-rental rates, re-packing paused, until a
+   cooldown probe succeeds.
+
+Everything here is synchronous and allocation-light: these run once per
+request on the hot admission path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "AdmissionConfig",
+    "CircuitBreaker",
+    "TokenBucket",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Ingress knobs of the serving engine.
+
+    Parameters
+    ----------
+    rate / burst:
+        Token-bucket refill rate (requests per second; ``None`` disables
+        rate limiting) and bucket capacity.
+    queue_limit:
+        Bound on the ingress queue; a full queue rejects with
+        ``retry_after`` instead of growing (backpressure, bounded RSS).
+    deadline:
+        Default per-request latency budget in seconds (``None`` = no
+        deadline).  A request whose budget expires before its batch
+        executes is shed, never half-served.
+    retry_after:
+        Floor of the retry-after hint attached to queue-full
+        rejections (the token bucket computes its own exact hint).
+    breaker_threshold / breaker_cooldown:
+        Consecutive batch failures that trip the circuit breaker, and
+        the OPEN dwell time before a HALF_OPEN probe is allowed.
+    """
+
+    rate: Optional[float] = None
+    burst: int = 128
+    queue_limit: int = 1024
+    deadline: Optional[float] = None
+    retry_after: float = 0.05
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive (or None), got {self.rate}")
+        if self.burst < 1:
+            raise ValueError("burst must be at least 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+
+
+class TokenBucket:
+    """Token-bucket rate limiter with exact retry-after hints.
+
+    ``try_acquire`` returns ``0.0`` when a token was taken and the
+    positive number of seconds until one becomes available otherwise.
+    Refill is computed lazily from the injected monotonic ``clock`` --
+    no background thread, O(1) per call.  ``rate=None`` admits
+    everything (the disabled limiter still counts admissions).
+    """
+
+    __slots__ = ("rate", "burst", "clock", "tokens", "_last", "admitted", "limited")
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: int = 128,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive (or None), got {rate}")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = float(burst)
+        self._last = clock()
+        self.admitted = 0
+        self.limited = 0
+
+    def try_acquire(self, now: Optional[float] = None) -> float:
+        """Take one token; ``0.0`` on success, else seconds-until-token."""
+        if self.rate is None:
+            self.admitted += 1
+            return 0.0
+        now = self.clock() if now is None else now
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.admitted += 1
+            return 0.0
+        self.limited += 1
+        return (1.0 - self.tokens) / self.rate
+
+
+class CircuitBreaker:
+    """CLOSED / OPEN / HALF_OPEN breaker with a cooldown probe.
+
+    ``record_failure`` counts consecutive failures; reaching
+    ``threshold`` trips the breaker OPEN.  While OPEN, :meth:`allow`
+    returns ``False`` (callers degrade) until ``cooldown`` seconds have
+    passed, at which point the breaker turns HALF_OPEN and :meth:`allow`
+    admits probe traffic; the next ``record_success`` re-closes it, the
+    next ``record_failure`` re-opens it for another cooldown.
+
+    The breaker is consulted once per *batch*, not per request, so it
+    sees solver-path health at exactly the granularity state mutation
+    happens.
+    """
+
+    __slots__ = ("threshold", "cooldown", "clock", "state", "failures",
+                 "trips", "reopens", "_opened_at")
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 1.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = BREAKER_CLOSED
+        self.failures = 0
+        self.trips = 0
+        self.reopens = 0
+        self._opened_at = 0.0
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        """May the next batch run the packaged serving path?"""
+        if self.state == BREAKER_CLOSED:
+            return True
+        now = self.clock() if now is None else now
+        if self.state == BREAKER_OPEN and now - self._opened_at >= self.cooldown:
+            self.state = BREAKER_HALF_OPEN
+        return self.state == BREAKER_HALF_OPEN
+
+    def record_success(self) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            self.state = BREAKER_CLOSED
+        self.failures = 0
+
+    def record_failure(self, now: Optional[float] = None) -> None:
+        now = self.clock() if now is None else now
+        if self.state == BREAKER_HALF_OPEN:
+            # the probe failed: straight back to OPEN for another cooldown
+            self.state = BREAKER_OPEN
+            self._opened_at = now
+            self.reopens += 1
+            return
+        self.failures += 1
+        if self.state == BREAKER_CLOSED and self.failures >= self.threshold:
+            self.state = BREAKER_OPEN
+            self._opened_at = now
+            self.trips += 1

@@ -1,0 +1,94 @@
+"""Batch collector: group queued requests under size and latency caps.
+
+The serving engine answers requests in *batches*: one synchronous
+:meth:`~repro.core.online_dpg.OnlineDPGreedyState.step` sweep per
+batch amortises the event-loop overhead over many requests and gives
+the state a natural atomicity boundary.  The collector implements the
+standard max-batch-size + max-wait grouping:
+
+* the first request is awaited unconditionally (an idle service burns
+  no CPU);
+* once a batch is open, further requests are taken greedily while
+  queued, and otherwise awaited until ``max_wait`` seconds have passed
+  since the batch opened or the batch is full;
+* per-request deadline budgets shorten the wait -- a batch never idles
+  past the earliest deadline of the requests it already holds, so a
+  tight-deadline request is not expired by the collector's own
+  grouping delay.
+
+``None`` items are drain sentinels: they terminate collection
+immediately so a shutdown never waits out ``max_wait``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, List, Optional
+
+__all__ = ["BatchCollector"]
+
+
+class BatchCollector:
+    """Max-batch-size + max-wait grouping over an :class:`asyncio.Queue`.
+
+    Items may expose a ``deadline`` attribute (absolute, on the
+    injected monotonic clock); the earliest deadline in the open batch
+    caps the grouping wait.  The collector never drops or reorders
+    items -- expiry is the engine's decision, made just before the
+    batch executes.
+    """
+
+    def __init__(
+        self,
+        queue: "asyncio.Queue",
+        *,
+        max_batch: int = 64,
+        max_wait: float = 0.005,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.queue = queue
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.clock = clock
+        self.batches = 0
+
+    async def collect(self) -> List[object]:
+        """One batch: ``[item, ...]``, ending on a ``None`` sentinel.
+
+        The sentinel itself is not returned; an empty list means the
+        queue yielded only the sentinel (drain with nothing queued).
+        """
+        first = await self.queue.get()
+        if first is None:
+            return []
+        batch: List[object] = [first]
+        opened = self.clock()
+        cutoff = opened + self.max_wait
+        deadline = getattr(first, "deadline", None)
+        if deadline is not None:
+            cutoff = min(cutoff, deadline)
+        while len(batch) < self.max_batch:
+            # greedy fast path: drain whatever is already queued
+            try:
+                item = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                remaining = cutoff - self.clock()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self.queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            if item is None:
+                break
+            batch.append(item)
+            deadline = getattr(item, "deadline", None)
+            if deadline is not None:
+                cutoff = min(cutoff, deadline)
+        self.batches += 1
+        return batch

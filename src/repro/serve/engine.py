@@ -1,0 +1,657 @@
+"""The always-on DP_Greedy serving engine.
+
+The paper's algorithm is offline: a full request sequence in, a caching
+plan out.  This module turns the *on-line* variant
+(:class:`~repro.core.online_dpg.OnlineDPGreedyState`) into a
+long-running asyncio service that accepts a stream of requests and
+answers cache/transfer decisions while it runs, degrading gracefully
+when traffic exceeds capacity:
+
+ingress -> admission -> bounded queue -> batch collector -> batch solve
+
+* **Admission** (:mod:`repro.serve.admission`): a token bucket rate
+  limits at the door; the ingress queue is bounded and a full queue
+  rejects with a retry-after hint (backpressure) instead of growing.
+* **Batching** (:mod:`repro.serve.collector`): max-batch-size +
+  max-wait grouping with per-request deadline budgets propagated into
+  the grouping wait.
+* **Atomic state updates**: the only state mutator is
+  ``OnlineDPGreedyState.step``, called synchronously inside
+  ``_process_batch`` for exactly the requests that survived admission,
+  deadlines, and chaos.  A shed, expired, or chaos-failed batch is
+  resolved *before* any ``step`` runs, so correlation counts, package
+  flags, and copy states never half-mutate.
+* **Degradation ladder**: rate-limit reject -> queue-full reject ->
+  deadline shed -> circuit breaker.  ``breaker_threshold`` consecutive
+  batch failures (chaos/solver errors or deadline sheds) trip the
+  breaker: background Phase-1 re-packing pauses and serving falls back
+  to the plain per-item ski-rental policy of :mod:`repro.cache.online`
+  (no packages, no correlation updates) until a cooldown probe batch
+  succeeds and re-closes it.
+* **Background re-packing**: a periodic task runs the *offline-quality*
+  Phase-1 packing (:func:`~repro.correlation.packing.greedy_pair_packing`)
+  over the streaming statistics and publishes the refreshed plan; with
+  ``repack_adopt=True`` it also adopts not-yet-formed packages into the
+  serving state (off by default -- the default engine replays a trace
+  bit-identically to :func:`~repro.core.online_dpg.solve_online_dp_greedy`).
+* **Shutdown is a first-class path**: ``request_shutdown`` (wired to
+  SIGTERM/SIGINT by the CLI) stops admission, flushes in-flight
+  batches, finalizes the ski-rental state, and leaves the engine with
+  exact totals for the final METRICS/PROM artefacts.
+* **Telemetry**: every hop is metered through the existing hub --
+  ``serve.admit_seconds`` / ``serve.batch_wait_seconds`` /
+  ``serve.solve_seconds`` / ``serve.e2e_seconds`` histograms, the
+  ``serve.*`` counters, and :class:`~repro.obs.telemetry.ProgressBoard`
+  batch heartbeats (a chaos-delayed batch trips the stall watchdog
+  exactly like a stalled pool unit).
+* **Chaos**: ``REPRO_CHAOS`` injects on the service path per batch:
+  ``delay`` sleeps (asynchronously) before the solve, ``crash`` /
+  ``kill`` / ``corrupt`` fail the attempt before any mutation (corrupt
+  downgrades to a pre-solve failure here precisely because a corrupted
+  *applied* batch could not be retried without double-mutating).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import math
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..cache.model import CostModel, Request
+from ..core.online_dpg import OnlineDPGreedyState, _SkiRentalUnit
+from ..correlation.packing import PackingPlan, greedy_pair_packing
+from ..engine.chaos import FaultPlan, chaos_from_env
+from ..obs.tracing import Tracer, maybe_span
+from ..obs.telemetry import (
+    H_ADMIT,
+    H_BATCH_WAIT,
+    H_E2E,
+    H_SERVE_SOLVE,
+    ProgressBoard,
+    Telemetry,
+)
+from .admission import AdmissionConfig, CircuitBreaker, TokenBucket
+from .collector import BatchCollector
+
+log = logging.getLogger(__name__)
+
+__all__ = ["ServeAnswer", "ServeConfig", "ServingEngine"]
+
+#: ``ServeAnswer.status`` values.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_SHED = "shed"
+STATUS_REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine knobs beyond the cost model and packing parameters.
+
+    ``max_batch`` / ``max_wait`` shape the collector; ``admission``
+    bundles the ingress ladder; ``repack_every`` (seconds) enables the
+    background re-packing epochs, and ``repack_adopt`` lets an epoch
+    adopt offline-proposed packages into the serving state (changes
+    costs relative to the pure in-stream replay -- leave off when
+    bit-identical replay matters).  ``batch_retries`` re-attempts a
+    chaos-failed batch before shedding it.  ``chaos=None`` consults
+    ``REPRO_CHAOS``; pass an explicit :class:`FaultPlan` (or
+    ``chaos=FaultPlan()`` for never-inject) to pin it.
+    """
+
+    max_batch: int = 128
+    max_wait: float = 0.002
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    min_observations: int = 5
+    repack_every: Optional[float] = None
+    repack_adopt: bool = False
+    batch_retries: int = 1
+    chaos: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if self.repack_every is not None and self.repack_every <= 0:
+            raise ValueError("repack_every must be positive (or None)")
+        if self.batch_retries < 0:
+            raise ValueError("batch_retries must be non-negative")
+
+
+@dataclass(frozen=True)
+class ServeAnswer:
+    """What the engine tells a client about one request.
+
+    ``status`` is ``"ok"`` (served by the packaged on-line policy),
+    ``"degraded"`` (served, but by the breaker-open ski-rental
+    fallback), ``"shed"`` (admitted but dropped -- ``reason`` says
+    why), or ``"rejected"`` (never admitted; ``retry_after`` carries
+    the backoff hint).  ``paid`` is the cost charged at the serving
+    instant; ``hits``/``transfers``/``ships`` classify the per-item
+    decisions; ``latency`` is admission-to-answer seconds.
+    """
+
+    status: str
+    reason: Optional[str] = None
+    retry_after: Optional[float] = None
+    time: float = 0.0
+    paid: float = 0.0
+    hits: int = 0
+    transfers: int = 0
+    ships: int = 0
+    latency: float = 0.0
+
+    @property
+    def served(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_DEGRADED)
+
+
+class _Pending:
+    """One admitted request waiting for its batch."""
+
+    __slots__ = ("server", "items", "time", "submitted", "enqueued", "deadline",
+                 "future")
+
+    def __init__(self, server, items, time_, submitted, deadline, future):
+        self.server = server
+        self.items = items
+        self.time = time_
+        self.submitted = submitted
+        self.enqueued = submitted
+        self.deadline = deadline
+        self.future = future
+
+
+class ServingEngine:
+    """Long-running asyncio engine answering caching decisions online.
+
+    Lifecycle: ``await start()`` spins up the batch loop (and the
+    re-packing loop when configured); ``await submit(...)`` per
+    request; ``await drain()`` stops admission, flushes in-flight
+    batches, finalizes costs, and stops the loops.  ``request_shutdown``
+    is the signal-safe trigger for the same drain (the CLI wires it to
+    SIGTERM/SIGINT).  The engine is single-loop: all state mutation
+    happens on the event loop thread, batch by batch.
+    """
+
+    def __init__(
+        self,
+        model: CostModel,
+        *,
+        theta: float,
+        alpha: float,
+        origin: int = 0,
+        config: Optional[ServeConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+        tracer: Optional[Tracer] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.model = model
+        self.config = config or ServeConfig()
+        self.clock = clock
+        self.telemetry = telemetry
+        self.tracer = tracer
+        self.state = OnlineDPGreedyState(
+            model,
+            theta=theta,
+            alpha=alpha,
+            origin=origin,
+            min_observations=self.config.min_observations,
+        )
+        adm = self.config.admission
+        self.bucket = TokenBucket(adm.rate, adm.burst, clock=clock)
+        self.breaker = CircuitBreaker(
+            adm.breaker_threshold, adm.breaker_cooldown, clock=clock
+        )
+        self.chaos = (
+            self.config.chaos if self.config.chaos is not None else chaos_from_env()
+        )
+        self.board: ProgressBoard = (
+            telemetry.board if telemetry is not None else ProgressBoard()
+        )
+        self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=adm.queue_limit)
+        self.collector = BatchCollector(
+            self.queue,
+            max_batch=self.config.max_batch,
+            max_wait=self.config.max_wait,
+            clock=clock,
+        )
+        # degraded-mode state: plain per-item ski-rental, fully separate
+        # from the packaged state so overload never perturbs Phase 1
+        self._degraded_units: Dict[int, _SkiRentalUnit] = {}
+        self._degraded_cost = 0.0
+        self.last_plan: Optional[PackingPlan] = None
+
+        self._counters: Dict[str, float] = {
+            "serve.submitted": 0,
+            "serve.admitted": 0,
+            "serve.answered": 0,
+            "serve.rejected": 0,
+            "serve.rate_limited": 0,
+            "serve.queue_full": 0,
+            "serve.shed": 0,
+            "serve.shed_deadline": 0,
+            "serve.shed_chaos": 0,
+            "serve.degraded": 0,
+            "serve.batches": 0,
+            "serve.chaos_injected": 0,
+            "serve.breaker_open": 0,
+            "serve.repacks": 0,
+            "serve.packages_formed": 0,
+            "serve.packages_adopted": 0,
+        }
+        self._t0 = clock()
+        self._last_assigned = -1.0  # request times are >= 0
+        self._batch_seq = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._shutdown = asyncio.Event()
+        self._batch_task: Optional[asyncio.Task] = None
+        self._repack_task: Optional[asyncio.Task] = None
+        self._final_total: Optional[float] = None
+
+    # -- small helpers ---------------------------------------------------
+    def _record(self, name: str, seconds: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record(name, seconds)
+
+    def _count(self, name: str, delta: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def _assign_time(self, hint: Optional[float]) -> float:
+        """Strictly increasing logical time for the next request.
+
+        Explicit hints (trace replay) are honoured when they advance the
+        clock; otherwise wall seconds since engine start, bumped past
+        the previously *assigned* instant -- assignment happens at
+        admission, before the batch executes, so queued requests already
+        hold ordered times (the paper's one-request-per-instant
+        assumption, enforced end to end)."""
+        last = self._last_assigned
+        if hint is not None and hint > last:
+            t = float(hint)
+        else:
+            t = max(0.0, self.clock() - self._t0)
+            if t <= last:
+                t = math.nextafter(last, math.inf)
+        self._last_assigned = t
+        return t
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "ServingEngine":
+        if self._batch_task is None:
+            self._batch_task = asyncio.create_task(
+                self._batch_loop(), name="repro-serve-batches"
+            )
+            if self.config.repack_every is not None:
+                self._repack_task = asyncio.create_task(
+                    self._repack_loop(), name="repro-serve-repack"
+                )
+        return self
+
+    def request_shutdown(self) -> None:
+        """Signal-safe drain trigger: stop admitting, then drain."""
+        if not self._shutdown.is_set():
+            log.info("serve: shutdown requested, draining")
+            self._shutdown.set()
+            self._draining = True
+            # wake the collector without violating the queue bound
+            try:
+                self.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                pass  # the batch loop is behind; it will see _draining
+
+    async def drain(self) -> float:
+        """Stop admission, flush in-flight batches, finalize costs.
+
+        Returns the exact total cost (packaged state flushed at last
+        use + degraded-mode ski-rental cost).  Idempotent.
+        """
+        self.request_shutdown()
+        if self._batch_task is not None:
+            await self._batch_task
+            self._batch_task = None
+        if self._repack_task is not None:
+            self._repack_task.cancel()
+            try:
+                await self._repack_task
+            except asyncio.CancelledError:
+                pass
+            self._repack_task = None
+        if self._final_total is None:
+            total = self.state.finalize().total_cost
+            for unit in self._degraded_units.values():
+                self._degraded_cost += unit.flush()
+            self._final_total = total + self._degraded_cost
+        self._drained.set()
+        return self._final_total
+
+    async def wait_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown` fires (signal or code)."""
+        await self._shutdown.wait()
+
+    def install_signal_handlers(
+        self, loop: Optional[asyncio.AbstractEventLoop] = None
+    ) -> None:
+        """Wire SIGTERM/SIGINT to the drain path (graceful shutdown).
+
+        Uses the loop's signal machinery where available (Unix) and
+        falls back to plain :func:`signal.signal` elsewhere -- either
+        way a termination signal stops admission and lets the in-flight
+        work flush instead of killing it mid-batch."""
+        loop = loop if loop is not None else asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                signal.signal(
+                    sig,
+                    lambda *_: loop.call_soon_threadsafe(self.request_shutdown),
+                )
+
+    def total_cost(self) -> float:
+        """Exact final cost; only defined after :meth:`drain`."""
+        if self._final_total is None:
+            raise RuntimeError("engine not drained yet")
+        return self._final_total
+
+    # -- ingress ---------------------------------------------------------
+    async def submit(
+        self,
+        server: int,
+        items,
+        *,
+        time: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> ServeAnswer:
+        """Offer one request; resolves with the serving decision.
+
+        ``deadline`` (seconds of budget, default from the admission
+        config) bounds queue + batching + solve; an expired request is
+        shed, never half-served.  Rejections return immediately.
+        """
+        t_submit = self.clock()
+        self._count("serve.submitted")
+        if self._draining:
+            self._count("serve.rejected")
+            return ServeAnswer(
+                STATUS_REJECTED, reason="draining", retry_after=None
+            )
+        retry = self.bucket.try_acquire(t_submit)
+        if retry > 0.0:
+            self._count("serve.rejected")
+            self._count("serve.rate_limited")
+            return ServeAnswer(
+                STATUS_REJECTED, reason="rate-limit", retry_after=retry
+            )
+        budget = deadline if deadline is not None else self.config.admission.deadline
+        abs_deadline = t_submit + budget if budget is not None else None
+        logical = self._assign_time(time)
+        pending = _Pending(
+            int(server),
+            frozenset(items),
+            logical,
+            t_submit,
+            abs_deadline,
+            asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self.queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self._count("serve.rejected")
+            self._count("serve.queue_full")
+            return ServeAnswer(
+                STATUS_REJECTED,
+                reason="queue-full",
+                retry_after=self.config.admission.retry_after,
+            )
+        self._count("serve.admitted")
+        self._record(H_ADMIT, self.clock() - t_submit)
+        answer: ServeAnswer = await pending.future
+        latency = self.clock() - t_submit
+        self._record(H_E2E, latency)
+        return ServeAnswer(
+            answer.status,
+            reason=answer.reason,
+            retry_after=answer.retry_after,
+            time=answer.time,
+            paid=answer.paid,
+            hits=answer.hits,
+            transfers=answer.transfers,
+            ships=answer.ships,
+            latency=latency,
+        )
+
+    # -- the batch loop --------------------------------------------------
+    async def _batch_loop(self) -> None:
+        while True:
+            batch = await self.collector.collect()
+            if batch:
+                await self._process_batch(batch)
+            if self._draining and self.queue.empty():
+                break
+
+    def _shed(self, pending: _Pending, reason: str) -> None:
+        self._count("serve.shed")
+        self._count(f"serve.shed_{reason}")
+        self._count("serve.answered")
+        if not pending.future.done():
+            pending.future.set_result(
+                ServeAnswer(STATUS_SHED, reason=reason, time=pending.time)
+            )
+
+    async def _process_batch(self, batch: List[_Pending]) -> None:
+        self._batch_seq += 1
+        self._count("serve.batches")
+        label = f"batch({self._batch_seq})"
+        self.board.begin(1)
+        self.board.unit_started(label)
+        try:
+            with maybe_span(self.tracer, label, "serve", requests=len(batch)):
+                await self._process_batch_inner(batch, label)
+        finally:
+            self.board.unit_finished(label)
+
+    async def _process_batch_inner(self, batch: List[_Pending], label: str) -> None:
+        now = self.clock()
+        live = []
+        expired = 0
+        for p in batch:
+            if p.deadline is not None and now > p.deadline:
+                self._shed(p, "deadline")
+                expired += 1
+            else:
+                live.append(p)
+
+        # the breaker decision comes first: an OPEN breaker routes the
+        # batch around the (failing) packaged solver path entirely --
+        # degraded serving bypasses chaos exactly like it bypasses the
+        # solver, which is the point of degrading
+        packaged = self.breaker.allow(now)
+
+        # ---- chaos (REPRO_CHAOS on the service path): fires *before*
+        # any state mutation, so a failed batch sheds clean
+        failed_attempts = 0
+        if packaged and self.chaos is not None and live:
+            attempt = 0
+            while True:
+                attempt += 1
+                kind = self.chaos.fault_for(label, attempt)
+                if kind is None:
+                    break
+                self._count("serve.chaos_injected")
+                log.warning(
+                    "serve chaos: injected %s [%s attempt=%d]", kind, label, attempt
+                )
+                if kind == "delay":
+                    # an injected stall: the ProgressBoard watchdog flags
+                    # it (engine.stalls) while the batch sits here
+                    await asyncio.sleep(self.chaos.delay_seconds)
+                    break
+                failed_attempts += 1
+                if failed_attempts > self.config.batch_retries:
+                    for p in live:
+                        self._shed(p, "chaos")
+                    self._record_breaker_failure()
+                    return
+            # the delay (or the retries) consumed wall time: re-check
+            # deadlines so a timed-out batch sheds, not half-serves
+            now = self.clock()
+            still = []
+            for p in live:
+                if p.deadline is not None and now > p.deadline:
+                    self._shed(p, "deadline")
+                    expired += 1
+                else:
+                    still.append(p)
+            live = still
+
+        if expired:
+            self._record_breaker_failure()
+        if not live:
+            return
+
+        for p in live:
+            self._record(H_BATCH_WAIT, now - p.enqueued)
+
+        t0 = self.clock()
+        if packaged:
+            answers = self._apply_packaged(live)
+            if not expired and failed_attempts == 0:
+                self.breaker.record_success()
+        else:
+            answers = self._apply_degraded(live)
+        self._record(H_SERVE_SOLVE, self.clock() - t0)
+        for p, answer in zip(live, answers):
+            self._count("serve.answered")
+            if not p.future.done():
+                p.future.set_result(answer)
+
+    def _record_breaker_failure(self) -> None:
+        before = self.breaker.state
+        self.breaker.record_failure()
+        if self.breaker.state == "open" and before != "open":
+            self._count("serve.breaker_open")
+            log.warning(
+                "serve: circuit breaker OPEN after %d consecutive failures "
+                "-- degrading to plain ski-rental, re-packing paused",
+                self.breaker.failures,
+            )
+
+    def _apply_packaged(self, live: List[_Pending]) -> List[ServeAnswer]:
+        """The healthy path: one atomic sweep of on-line DP_Greedy steps."""
+        answers = []
+        step = self.state.step
+        for p in live:
+            out = step(Request(p.server, p.time, p.items))
+            if out.formed:
+                self._count("serve.packages_formed", len(out.formed))
+            answers.append(
+                ServeAnswer(
+                    STATUS_OK,
+                    time=p.time,
+                    paid=out.paid,
+                    hits=out.hits,
+                    transfers=out.transfers,
+                    ships=out.ships,
+                )
+            )
+        return answers
+
+    def _apply_degraded(self, live: List[_Pending]) -> List[ServeAnswer]:
+        """Breaker-open fallback: plain per-item ski-rental serving.
+
+        Runs on a *separate* unit map at individual rates -- the
+        2-competitive policy of :mod:`repro.cache.online` -- and never
+        touches the packaged state or the correlation counts, so a
+        degraded interval cannot corrupt Phase-1 statistics.
+        """
+        answers = []
+        mu, lam = self.model.mu, self.model.lam
+        origin = self.state.origin
+        for p in live:
+            self._count("serve.degraded")
+            paid = 0.0
+            hits = transfers = 0
+            for d in sorted(p.items):
+                unit = self._degraded_units.get(d)
+                if unit is None:
+                    unit = self._degraded_units[d] = _SkiRentalUnit(
+                        origin, p.time, mu, lam
+                    )
+                charge = unit.serve(p.server, p.time)
+                paid += charge
+                if charge:
+                    transfers += 1
+                else:
+                    hits += 1
+            answers.append(
+                ServeAnswer(
+                    STATUS_DEGRADED,
+                    time=p.time,
+                    paid=paid,
+                    hits=hits,
+                    transfers=transfers,
+                )
+            )
+        return answers
+
+    # -- background re-packing ------------------------------------------
+    async def _repack_loop(self) -> None:
+        assert self.config.repack_every is not None
+        while not self._draining:
+            await asyncio.sleep(self.config.repack_every)
+            if self._draining:
+                break
+            if self.breaker.state != "closed":
+                # tripped: re-packing is the expensive O(k^2) leg, shed
+                # it first and let the probe re-enable it
+                continue
+            self.repack()
+
+    def repack(self) -> Optional[PackingPlan]:
+        """One re-packing epoch: offline-quality Phase 1 over the
+        streaming statistics.
+
+        Publishes the refreshed plan (``last_plan``) and, with
+        ``repack_adopt``, adopts proposed packages whose members the
+        monotone in-stream rule has not engaged yet.  Read-only on the
+        correlation counts by construction.
+        """
+        if self.state.requests_seen == 0:
+            return None
+        plan = greedy_pair_packing(self.state.stats, self.state.theta)
+        self.last_plan = plan
+        self._count("serve.repacks")
+        if self.config.repack_adopt:
+            t = math.nextafter(self.state.last_time, math.inf)
+            for pair in plan.packages:
+                if self.state.adopt_package(pair, t):
+                    self._count("serve.packages_adopted")
+                    t = math.nextafter(t, math.inf)
+        return plan
+
+    # -- introspection ---------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Current ``serve.*`` counters plus breaker/board health."""
+        out = dict(self._counters)
+        out["serve.breaker_trips"] = self.breaker.trips
+        out["serve.breaker_reopens"] = self.breaker.reopens
+        out["serve.queue_depth"] = self.queue.qsize()
+        out["serve.packages_live"] = len(self.state.package_units)
+        out["engine.stalls"] = self.board.stalls
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready engine snapshot (counters + breaker + uptime)."""
+        return {
+            "uptime_seconds": self.clock() - self._t0,
+            "breaker_state": self.breaker.state,
+            "draining": self._draining,
+            "counters": self.counters(),
+        }

@@ -1,0 +1,301 @@
+"""Closed-loop load generator for the serving engine.
+
+The acceptance story of a serving layer is a throughput/latency curve,
+not a unit test: ``N`` closed-loop clients each keep exactly one request
+in flight (submit, await the answer, submit the next), which makes the
+offered load self-limiting -- the system is measured at the concurrency
+it can actually sustain instead of being buried under an open-loop
+arrival process.  Overload behaviour is probed separately by raising
+``clients`` past capacity and watching the engine shed instead of queue.
+
+The generator walks a deterministic workload
+(:func:`repro.trace.workload.zipf_item_workload` by default), records
+admission-to-answer latency per request into a
+:class:`~repro.obs.telemetry.LatencyHistogram`, and reports sustained
+requests/s, decisions/s (item decisions; multi-item requests count each
+item), p50/p99, and the outcome mix.  ``repro loadtest`` wraps this in a
+CLI and the benchmark suite pins a throughput floor on its result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..obs.telemetry import LatencyHistogram
+from ..trace.workload import zipf_item_workload
+from .engine import ServingEngine
+
+__all__ = [
+    "LoadTestReport",
+    "replay_sequence",
+    "run_load_test",
+    "workload_requests",
+]
+
+
+def workload_requests(
+    n_requests: int,
+    num_servers: int,
+    num_items: int,
+    *,
+    seed: int = 0,
+    cooccurrence: float = 0.3,
+) -> List[Tuple[int, frozenset]]:
+    """The loadtest workload: ``(server, items)`` pairs, trace times
+    dropped (the engine stamps live arrival times)."""
+    seq = zipf_item_workload(
+        n_requests,
+        num_servers,
+        num_items,
+        seed=seed,
+        cooccurrence=cooccurrence,
+    )
+    return [(req.server, req.items) for req in seq]
+
+
+@dataclass
+class LoadTestReport:
+    """Outcome of one closed-loop load test."""
+
+    clients: int
+    attempted: int
+    served: int
+    degraded: int
+    shed: int
+    rejected: int
+    decisions: int
+    wall_seconds: float
+    total_paid: float
+    latency: LatencyHistogram = field(repr=False, default_factory=LatencyHistogram)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Answered requests per second (served + degraded + shed --
+        every admitted request got an answer)."""
+        answered = self.served + self.degraded + self.shed
+        return answered / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def decisions_per_second(self) -> float:
+        """Per-item serving decisions per second (the paper's unit)."""
+        return self.decisions / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        return self.latency.quantile(q)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "clients": self.clients,
+            "attempted": self.attempted,
+            "served": self.served,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "decisions": self.decisions,
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput,
+            "decisions_per_second": self.decisions_per_second,
+            "total_paid": self.total_paid,
+            "latency_p50": self.quantile(0.5),
+            "latency_p99": self.quantile(0.99),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def report(self) -> str:
+        """Human-readable summary (the ``repro loadtest`` output)."""
+        p50, p99 = self.quantile(0.5), self.quantile(0.99)
+        fmt = lambda v: f"{v * 1e3:.2f}ms" if v is not None else "n/a"
+        lines = [
+            f"clients:            {self.clients}",
+            f"attempted:          {self.attempted}",
+            f"served ok:          {self.served}",
+            f"served degraded:    {self.degraded}",
+            f"shed:               {self.shed}",
+            f"rejected:           {self.rejected}",
+            f"wall time:          {self.wall_seconds:.3f}s",
+            f"throughput:         {self.throughput:,.0f} req/s",
+            f"decision rate:      {self.decisions_per_second:,.0f} decisions/s",
+            f"latency p50 / p99:  {fmt(p50)} / {fmt(p99)}",
+            f"total cost paid:    {self.total_paid:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+async def run_load_test(
+    engine: ServingEngine,
+    *,
+    clients: int = 8,
+    requests: int = 10_000,
+    num_items: int = 64,
+    num_servers: Optional[int] = None,
+    seed: int = 0,
+    cooccurrence: float = 0.3,
+    max_retries: int = 0,
+    clock=time.perf_counter,
+) -> LoadTestReport:
+    """Drive ``engine`` with ``clients`` closed-loop clients.
+
+    The clients share one workload iterator (``requests`` total) and
+    each keeps a single request in flight.  A rejected request is
+    retried up to ``max_retries`` times after the engine's retry-after
+    hint (0 = count the rejection and move on, the overload-probe
+    setting).  The engine must already be started; it is *not* drained
+    here -- the caller owns the lifecycle (and the final cost).
+    """
+    if clients < 1:
+        raise ValueError("clients must be at least 1")
+    if requests < 0:
+        raise ValueError("requests must be non-negative")
+    servers = num_servers if num_servers is not None else max(4, clients)
+    work = workload_requests(
+        requests, servers, num_items, seed=seed, cooccurrence=cooccurrence
+    )
+    it: Iterator = iter(work)
+    hist = LatencyHistogram()
+    tally = {
+        "attempted": 0,
+        "served": 0,
+        "degraded": 0,
+        "shed": 0,
+        "rejected": 0,
+        "decisions": 0,
+        "paid": 0.0,
+    }
+
+    async def client() -> None:
+        while True:
+            try:
+                server, items = next(it)
+            except StopIteration:
+                return
+            tally["attempted"] += 1
+            attempt = 0
+            while True:
+                answer = await engine.submit(server, items)
+                if answer.status != "rejected" or attempt >= max_retries:
+                    break
+                attempt += 1
+                await asyncio.sleep(answer.retry_after or 0.001)
+            if answer.status == "rejected":
+                if answer.reason == "draining":
+                    # the engine is shutting down; burning the rest of
+                    # the workload as rejections would only starve the
+                    # drain
+                    tally["rejected"] += 1
+                    return
+                # a rejected submit returns without suspending; yield so
+                # the batch loop is never starved by a rejection storm
+                await asyncio.sleep(0)
+            if answer.status == "ok":
+                tally["served"] += 1
+            elif answer.status == "degraded":
+                tally["degraded"] += 1
+            elif answer.status == "shed":
+                tally["shed"] += 1
+            else:
+                tally["rejected"] += 1
+            if answer.served:
+                tally["decisions"] += len(items)
+                tally["paid"] += answer.paid
+                hist.record(answer.latency)
+
+    t0 = clock()
+    await asyncio.gather(*(client() for _ in range(clients)))
+    wall = clock() - t0
+    return LoadTestReport(
+        clients=clients,
+        attempted=tally["attempted"],
+        served=tally["served"],
+        degraded=tally["degraded"],
+        shed=tally["shed"],
+        rejected=tally["rejected"],
+        decisions=tally["decisions"],
+        wall_seconds=wall,
+        total_paid=tally["paid"],
+        latency=hist,
+        counters=engine.counters(),
+    )
+
+
+async def replay_sequence(
+    engine: ServingEngine,
+    seq,
+    *,
+    window: int = 256,
+    clock=time.perf_counter,
+) -> LoadTestReport:
+    """Replay a :class:`~repro.cache.model.RequestSequence` through a
+    running engine, trace timestamps passed through.
+
+    Requests are admitted strictly in trace order (admission stamps the
+    logical clock, so ordering is what preserves replay fidelity) while
+    up to ``window`` answers are awaited concurrently -- submission
+    order is admission order because ``submit`` performs admission in
+    its first synchronous segment and tasks first run in creation
+    order.  Stops early when the engine starts draining (a signal
+    arrived); already-admitted requests still get answers.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    hist = LatencyHistogram()
+    tally = {
+        "attempted": 0,
+        "served": 0,
+        "degraded": 0,
+        "shed": 0,
+        "rejected": 0,
+        "decisions": 0,
+        "paid": 0.0,
+    }
+
+    def account(answer, n_items: int) -> None:
+        if answer.status == "ok":
+            tally["served"] += 1
+        elif answer.status == "degraded":
+            tally["degraded"] += 1
+        elif answer.status == "shed":
+            tally["shed"] += 1
+        else:
+            tally["rejected"] += 1
+        if answer.served:
+            tally["decisions"] += n_items
+            tally["paid"] += answer.paid
+            hist.record(answer.latency)
+
+    t0 = clock()
+    inflight: List[Tuple["asyncio.Task", int]] = []
+    draining = False
+    for req in seq:
+        if draining or engine._draining:
+            break
+        tally["attempted"] += 1
+        task = asyncio.ensure_future(
+            engine.submit(req.server, req.items, time=req.time)
+        )
+        inflight.append((task, len(req.items)))
+        if len(inflight) >= window:
+            done_task, n = inflight.pop(0)
+            answer = await done_task
+            if answer.status == "rejected" and answer.reason == "draining":
+                draining = True
+            account(answer, n)
+    for task, n in inflight:
+        account(await task, n)
+    wall = clock() - t0
+    return LoadTestReport(
+        clients=1,
+        attempted=tally["attempted"],
+        served=tally["served"],
+        degraded=tally["degraded"],
+        shed=tally["shed"],
+        rejected=tally["rejected"],
+        decisions=tally["decisions"],
+        wall_seconds=wall,
+        total_paid=tally["paid"],
+        latency=hist,
+        counters=engine.counters(),
+    )

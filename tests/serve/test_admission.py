@@ -1,0 +1,141 @@
+"""Tests for the admission-control primitives (token bucket, breaker)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionConfig,
+    CircuitBreaker,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_disabled_rate_admits_everything(self):
+        bucket = TokenBucket(None, 4)
+        assert all(bucket.try_acquire() == 0.0 for _ in range(1000))
+        assert bucket.admitted == 1000
+        assert bucket.limited == 0
+
+    def test_burst_then_reject_with_exact_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 2, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        retry = bucket.try_acquire()
+        # empty bucket at rate 10/s: exactly 0.1s until the next token
+        assert retry == pytest.approx(0.1)
+        assert bucket.limited == 1
+
+    def test_lazy_refill_up_to_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1.0, 3, clock=clock)
+        for _ in range(3):
+            assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0
+        clock.advance(100.0)  # refill caps at burst, not 100 tokens
+        for _ in range(3):
+            assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0
+
+    def test_partial_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        clock.advance(0.5)  # one token back at 2/s
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(3, 1.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(2, 1.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_after_cooldown_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 1.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()  # cooldown elapsed: probe admitted
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.reopens == 1
+        assert not breaker.allow()  # cooldown restarted
+        clock.advance(1.5)
+        assert breaker.allow()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, 0.0)
+
+
+class TestAdmissionConfig:
+    def test_defaults_validate(self):
+        AdmissionConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0},
+            {"burst": 0},
+            {"queue_limit": 0},
+            {"deadline": 0.0},
+            {"retry_after": 0.0},
+            {"breaker_threshold": 0},
+            {"breaker_cooldown": 0.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)
